@@ -1,0 +1,202 @@
+// Package acn implements adaptive counting networks: a decentralized,
+// self-resizing implementation of the bitonic counting network layered on
+// a Chord-style peer-to-peer overlay, after "Adaptive Counting Networks"
+// (Srikanta Tirthapura, ICDCS 2005).
+//
+// A counting network routes tokens from input to output wires through
+// balancers so that, in every quiescent state, the per-output-wire token
+// counts satisfy the step property; it implements a scalable distributed
+// counter. A static network's width (its parallelism) must be fixed in
+// advance; this package's network instead decomposes BITONIC[w] into
+// recursively splittable components, maps the components onto overlay
+// nodes with a distributed hash function, and has every node locally
+// decide — from its own estimate of the system size — when to split its
+// components into six smaller ones or merge them back.
+//
+// # Quick start
+//
+//	net, err := acn.New(acn.Config{Width: 256, Seed: 1})
+//	if err != nil { ... }
+//	net.AddNodes(31)                  // overlay grows to 32 nodes
+//	net.MaintainToFixpoint(100)       // nodes split components to match
+//	client, err := net.NewClient()
+//	tr, err := client.Inject()        // tr.Value is the next counter value
+//
+// The package also exposes the substrates and baselines used by the
+// experiment harness: classical balancer-level networks (Bitonic,
+// Periodic), single-process cut networks, the asynchronous message-level
+// cluster, the Chord overlay simulation, the producer-consumer matcher,
+// and the centralized / static-width / diffracting-tree baselines.
+// DESIGN.md maps each to the paper; EXPERIMENTS.md records the
+// reproduction results.
+package acn
+
+import (
+	"repro/internal/balancer"
+	"repro/internal/baseline"
+	"repro/internal/bitonic"
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/cutnet"
+	"repro/internal/dist"
+	"repro/internal/match"
+	"repro/internal/sim"
+	"repro/internal/tree"
+)
+
+// Config configures an adaptive counting network. See core.Config.
+type Config = core.Config
+
+// Network is an adaptive counting network over a simulated Chord overlay.
+type Network = core.Network
+
+// Client injects tokens into a Network and receives counter values.
+type Client = core.Client
+
+// TokenTrace reports a token's counter value and per-token protocol costs.
+type TokenTrace = core.TokenTrace
+
+// Metrics are the Network's cumulative protocol counters.
+type Metrics = core.Metrics
+
+// New creates an adaptive counting network of the given width; the whole
+// BITONIC[w] starts as one component on a single node.
+func New(cfg Config) (*Network, error) {
+	return core.New(cfg)
+}
+
+// Cut is a cut of the decomposition tree T_w: the set of components that
+// currently implement the network.
+type Cut = tree.Cut
+
+// Component identifies a BITONIC/MERGER/MIX component of T_w.
+type Component = tree.Component
+
+// CutNetwork is a single-process counting network over an arbitrary cut of
+// T_w, with explicit Split and Merge (the engine behind Theorem 2.1).
+type CutNetwork = cutnet.Net
+
+// NewCutNetwork builds a single-process counting network from a cut.
+func NewCutNetwork(width int, cut Cut) (*CutNetwork, error) {
+	return cutnet.New(width, cut)
+}
+
+// RootCut is the trivial cut: the entire network as one component.
+func RootCut() Cut { return tree.RootCut() }
+
+// LeafCut is the fully expanded cut: every component a single balancer.
+// Width must be a power of two >= 2.
+func LeafCut(width int) Cut { return tree.LeafCut(width) }
+
+// Cluster is the asynchronous message-level engine: tokens are concurrent
+// goroutines and splits/merges run the freeze protocol against live
+// traffic.
+type Cluster = dist.Cluster
+
+// NewCluster builds an asynchronous cluster from a cut.
+func NewCluster(width int, cut Cut) (*Cluster, error) {
+	return dist.New(width, cut)
+}
+
+// Ring is a simulated Chord overlay ring.
+type Ring = chord.Ring
+
+// NewRing creates an empty Chord ring with the given randomness seed.
+func NewRing(seed int64) *Ring { return chord.NewRing(seed) }
+
+// NewBitonic constructs the classical balancer-level Bitonic[w] counting
+// network of Aspnes, Herlihy and Shavit.
+func NewBitonic(width int) (*BalancerNetwork, error) { return bitonic.New(width) }
+
+// NewPeriodic constructs the classical Periodic[w] counting network.
+func NewPeriodic(width int) (*BalancerNetwork, error) { return bitonic.NewPeriodic(width) }
+
+// BalancerNetwork is an explicit balancer-level balancing network.
+type BalancerNetwork = balancer.Network
+
+// Matcher pairs producer supply tokens with consumer request tokens using
+// two back-to-back counting networks (the Section 1.1 application).
+type Matcher[P, C any] struct {
+	inner *match.Matcher[P, C]
+}
+
+// NewMatcher creates a producer-consumer matcher of the given width.
+func NewMatcher[P, C any](width int, seed int64) (*Matcher[P, C], error) {
+	m, err := match.New[P, C](width, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Matcher[P, C]{inner: m}, nil
+}
+
+// Produce offers an item; the channel yields the matched request.
+func (m *Matcher[P, C]) Produce(item P) (<-chan C, error) { return m.inner.Produce(item) }
+
+// Consume submits a request; the channel yields the matched item.
+func (m *Matcher[P, C]) Consume(req C) (<-chan P, error) { return m.inner.Consume(req) }
+
+// Pending returns the number of unmatched tokens currently parked.
+func (m *Matcher[P, C]) Pending() int { return m.inner.Pending() }
+
+// CentralCounter is the centralized single-node counter baseline.
+type CentralCounter = baseline.Central
+
+// NewCentralCounter places a counter object on the ring node owning name.
+func NewCentralCounter(ring *Ring, name string) (*CentralCounter, error) {
+	return baseline.NewCentral(ring, name)
+}
+
+// StaticNetwork is the balancer-per-object static bitonic baseline.
+type StaticNetwork = baseline.Static
+
+// NewStaticNetwork builds the width-w balancer-per-object network.
+func NewStaticNetwork(ring *Ring, width int) (*StaticNetwork, error) {
+	return baseline.NewStatic(ring, width)
+}
+
+// DiffractingTree is the counting-tree baseline.
+type DiffractingTree = baseline.DiffractingTree
+
+// NewDiffractingTree builds a counting tree with 2^depth leaf counters.
+func NewDiffractingTree(depth int) (*DiffractingTree, error) {
+	return baseline.NewDiffractingTree(depth)
+}
+
+// ReactiveTree is the reactive diffracting tree baseline (related work):
+// a counting tree that unfolds under load and folds when idle.
+type ReactiveTree = baseline.ReactiveTree
+
+// NewReactiveTree builds a reactive diffracting tree: a leaf unfolds when
+// its per-window load reaches unfoldAt and sibling leaves fold when their
+// combined window load drops below foldAt.
+func NewReactiveTree(unfoldAt, foldAt uint64, maxDepth int) (*ReactiveTree, error) {
+	return baseline.NewReactiveTree(unfoldAt, foldAt, maxDepth)
+}
+
+// Controller drives a Cluster toward the cut the paper's decentralized
+// rules converge to for a given overlay, running the freeze protocol
+// against live traffic.
+type Controller = dist.Controller
+
+// NewController attaches a controller to an asynchronous cluster and a
+// Chord ring.
+func NewController(cl *Cluster, ring *Ring) *Controller {
+	return dist.NewController(cl, ring)
+}
+
+// SimConfig configures a discrete-event simulation of the network (node
+// queueing, link delays, Poisson arrivals).
+type SimConfig = sim.Config
+
+// SimResult summarizes a simulation run (throughput, latency percentiles,
+// peak node utilization).
+type SimResult = sim.Result
+
+// Simulate runs one discrete-event simulation to completion.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,170 @@
+package acn_test
+
+import (
+	"testing"
+
+	acn "repro"
+)
+
+// TestFacadeQuickstart exercises the public API end to end, mirroring the
+// package documentation's quick start.
+func TestFacadeQuickstart(t *testing.T) {
+	net, err := acn.New(acn.Config{Width: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.AddNodes(31)
+	if _, err := net.MaintainToFixpoint(100); err != nil {
+		t.Fatal(err)
+	}
+	client, err := net.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		tr, err := client.Inject()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Value != i {
+			t.Fatalf("value = %d, want %d", tr.Value, i)
+		}
+	}
+	if err := net.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCutNetwork(t *testing.T) {
+	n, err := acn.NewCutNetwork(8, acn.LeafCut(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		out, err := n.Inject(i % 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != i%8 {
+			t.Fatalf("token %d exited %d", i, out)
+		}
+	}
+	if _, err := acn.NewCutNetwork(8, acn.RootCut()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	cl, err := acn.NewCluster(8, acn.RootCut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := cl.Inject(3); err != nil || out != 0 {
+		t.Fatalf("inject = %d, %v", out, err)
+	}
+}
+
+func TestFacadeClassicNetworks(t *testing.T) {
+	b, err := acn.NewBitonic(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := acn.NewPeriodic(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := b.Traverse(i % 16); got != i%16 {
+			t.Fatalf("bitonic token %d exited %d", i, got)
+		}
+		if got := p.Traverse(i % 16); got != i%16 {
+			t.Fatalf("periodic token %d exited %d", i, got)
+		}
+	}
+}
+
+func TestFacadeMatcher(t *testing.T) {
+	m, err := acn.NewMatcher[string, string](8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pch, err := m.Produce("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Consume("req"); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-pch; got != "req" {
+		t.Fatalf("matched %q", got)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d", m.Pending())
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ring := acn.NewRing(1)
+	ring.JoinN(8)
+	c, err := acn.NewCentralCounter(ring, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Next(); v != 0 {
+		t.Fatalf("central first value %d", v)
+	}
+	s, err := acn.NewStaticNetwork(ring, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := s.Next(0); err != nil || v != 0 {
+		t.Fatalf("static first value %d, %v", v, err)
+	}
+	d, err := acn.NewDiffractingTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Next(); v != 0 {
+		t.Fatalf("tree first value %d", v)
+	}
+}
+
+func TestFacadeReactiveTree(t *testing.T) {
+	r, err := acn.NewReactiveTree(8, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if v, _ := r.Next(); v != i {
+			t.Fatalf("value %d, want %d", v, i)
+		}
+	}
+	r.React()
+}
+
+func TestFacadeControllerAndSim(t *testing.T) {
+	cl, err := acn.NewCluster(64, acn.RootCut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := acn.NewRing(5)
+	ring.JoinN(32)
+	ctrl := acn.NewController(cl, ring)
+	if _, _, err := ctrl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() < 2 {
+		t.Fatalf("cluster did not expand: %d", cl.Size())
+	}
+
+	res, err := acn.Simulate(acn.SimConfig{
+		Width: 16, Nodes: 4, ServiceTime: 1, LinkDelay: 0.1,
+		ArrivalRate: 0.5, Tokens: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 100 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+}

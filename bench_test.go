@@ -1,0 +1,198 @@
+package acn_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"testing"
+
+	acn "repro"
+	"repro/internal/chord"
+	"repro/internal/core"
+	"repro/internal/cutnet"
+	"repro/internal/estimate"
+	"repro/internal/experiments"
+	"repro/internal/tree"
+)
+
+// benchExperiment runs one reproduction experiment per iteration (tables
+// are what the experiments produce; the bench measures the cost of
+// regenerating them). With -v the first iteration's table is printed.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, experiments.Options{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			if _, err := t.WriteTo(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		} else if i == 0 {
+			if _, err := t.WriteTo(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkE1FullExpansion(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2PhiAndCuts(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3Figure3(b *testing.B)            { benchExperiment(b, "E3") }
+func BenchmarkE4EveryCutCounts(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5DepthBound(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6WidthBound(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7SizeEstimation(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8LevelEstimates(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9ComponentLevels(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10ComponentsPerNode(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11WidthDepthScaling(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12Churn(b *testing.B)             { benchExperiment(b, "E12") }
+func BenchmarkE13RoutingEfficiency(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14InputLookup(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15Comparison(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkE16Matching(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE17Erratum(b *testing.B)           { benchExperiment(b, "E17") }
+func BenchmarkE18AblationNoMerge(b *testing.B)   { benchExperiment(b, "E18") }
+func BenchmarkE19AblationEstimator(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20Throughput(b *testing.B)        { benchExperiment(b, "E20") }
+
+// --- Micro-benchmarks of the hot operations ---
+
+func BenchmarkTokenRootComponent(b *testing.B) {
+	n, err := cutnet.NewRootOnly(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Inject(rng.Intn(64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTokenFullyExpanded(b *testing.B) {
+	for _, w := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			n, err := cutnet.New(w, tree.LeafCut(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Inject(rng.Intn(w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTokenAdaptive(b *testing.B) {
+	for _, nodes := range []int{16, 128} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			net, err := core.New(core.Config{Width: 1 << 12, Seed: 1, InitialNodes: nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.MaintainToFixpoint(200); err != nil {
+				b.Fatal(err)
+			}
+			client, err := net.NewClient()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Inject(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSplitMergeCycle(b *testing.B) {
+	n, err := cutnet.NewRootOnly(1 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if _, err := n.Inject(rng.Intn(1 << 10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := n.Split(""); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Merge(""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChordLookup(b *testing.B) {
+	ring := acn.NewRing(1)
+	ids := ring.JoinN(1024)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := ids[rng.Intn(len(ids))]
+		if _, _, err := ring.Lookup(from, chord.Hash(fmt.Sprint(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSizeEstimate(b *testing.B) {
+	ring := acn.NewRing(3)
+	ids := ring.JoinN(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.SizeEstimate(ring, ids[i%len(ids)], estimate.DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaintainFixpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := core.New(core.Config{Width: 1 << 12, Seed: int64(i), InitialNodes: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.MaintainToFixpoint(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEffectiveWidth(b *testing.B) {
+	net, err := core.New(core.Config{Width: 1 << 12, Seed: 5, InitialNodes: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.MaintainToFixpoint(200); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.EffectiveWidth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE21Generality(b *testing.B) { benchExperiment(b, "E21") }
+
+func BenchmarkE22AdaptivityAxes(b *testing.B) { benchExperiment(b, "E22") }
+
+func BenchmarkE23Saturation(b *testing.B) { benchExperiment(b, "E23") }

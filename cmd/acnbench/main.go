@@ -1,0 +1,64 @@
+// Command acnbench runs the reproduction experiments (E1..E20, indexed in
+// DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
+// output.
+//
+// Usage:
+//
+//	acnbench                 # run everything
+//	acnbench -run E11,E15    # run selected experiments
+//	acnbench -quick          # smaller sweeps
+//	acnbench -seed 7         # different deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "acnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("acnbench", flag.ContinueOnError)
+	var (
+		runIDs = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed   = fs.Int64("seed", 1, "deterministic seed")
+		quick  = fs.Bool("quick", false, "smaller sweeps")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	if *runIDs == "" {
+		return experiments.RunAll(os.Stdout, opts)
+	}
+	for _, id := range strings.Split(*runIDs, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		t, err := experiments.Run(id, opts)
+		if err != nil {
+			return err
+		}
+		if _, err := t.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	if err := run([]string{"-run", "E2,E3", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSelectedWithSpacesAndEmpties(t *testing.T) {
+	if err := run([]string{"-run", " E2 ,, E3 ", "-quick", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if err := run([]string{"-run", "E999"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

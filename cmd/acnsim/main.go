@@ -1,0 +1,120 @@
+// Command acnsim runs an interactive-scale scenario on the adaptive
+// counting network and narrates what the network does: growth, splits,
+// token routing costs, shrink, merges, crashes and repair.
+//
+// Usage:
+//
+//	acnsim -width 1024 -nodes 256 -tokens 2000 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "acnsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("acnsim", flag.ContinueOnError)
+	var (
+		width  = fs.Int("width", 1024, "network width w (power of two)")
+		nodes  = fs.Int("nodes", 128, "peak overlay size")
+		tokens = fs.Int("tokens", 2000, "tokens per phase")
+		seed   = fs.Int64("seed", 1, "deterministic seed")
+		show   = fs.Bool("show", false, "draw the component tree after growth")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, err := core.New(core.Config{Width: *width, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	client, err := net.NewClient()
+	if err != nil {
+		return err
+	}
+	arrivals := workload.NewUniform(*width, *seed+1)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tnodes\tcomps\teff width\teff depth\tsplits\tmerges\trepairs\thops/token")
+	report := func(phase string) error {
+		ew, err := net.EffectiveWidth()
+		if err != nil {
+			return err
+		}
+		ed, err := net.EffectiveDepth()
+		if err != nil {
+			return err
+		}
+		m := net.Metrics()
+		hops := 0.0
+		if m.Tokens > 0 {
+			hops = float64(m.WireHops+m.LookupHops) / float64(m.Tokens)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
+			phase, net.NumNodes(), net.NumComponents(), ew, ed,
+			m.Splits, m.Merges, m.Repairs, hops)
+		return nil
+	}
+
+	// Bootstrap.
+	if _, err := workload.Run(net, client, []workload.Event{{Kind: workload.EventInject, Count: *tokens}}, arrivals); err != nil {
+		return err
+	}
+	if err := report("bootstrap (1 node)"); err != nil {
+		return err
+	}
+	// Grow.
+	if _, err := workload.Run(net, client, workload.Grow(*nodes-1, 6, *tokens/6), arrivals); err != nil {
+		return err
+	}
+	if err := report("grown"); err != nil {
+		return err
+	}
+	if *show {
+		art, err := net.Cut().Render(*width)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\ncomponent tree at peak size (live components marked *):")
+		fmt.Print(art)
+		fmt.Println()
+	}
+	// Crashes + repair.
+	if _, err := workload.Run(net, client, workload.CrashStorm(*nodes/16, *tokens/8), arrivals); err != nil {
+		return err
+	}
+	if err := report("after crash storm"); err != nil {
+		return err
+	}
+	// Shrink back.
+	if _, err := workload.Run(net, client, workload.Shrink(net.NumNodes()-2, 6, *tokens/6), arrivals); err != nil {
+		return err
+	}
+	if err := report("shrunk"); err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if err := net.CheckStep(); err != nil {
+		return fmt.Errorf("final check: %w", err)
+	}
+	m := net.Metrics()
+	fmt.Printf("\n%d tokens issued; step property and conservation verified.\n", m.Tokens)
+	fmt.Printf("protocol totals: %d splits, %d merges, %d moves, %d repairs, %d DHT lookups (%d hops)\n",
+		m.Splits, m.Merges, m.Moves, m.Repairs, m.NameLookups, m.LookupHops)
+	return nil
+}

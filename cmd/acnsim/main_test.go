@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSmallScenario(t *testing.T) {
+	if err := run([]string{"-width", "64", "-nodes", "16", "-tokens", "100", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithShow(t *testing.T) {
+	if err := run([]string{"-width", "32", "-nodes", "8", "-tokens", "50", "-show"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadWidth(t *testing.T) {
+	if err := run([]string{"-width", "7"}); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

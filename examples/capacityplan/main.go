@@ -1,0 +1,56 @@
+// Capacityplan: use the discrete-event simulator to answer a deployment
+// question — how many peers does the counting network need before a given
+// token load stops queueing? The simulator models each node as a FIFO
+// server and each inter-component wire as a delayed link, so the answer
+// reflects both the network's effective width (capacity) and its effective
+// depth (latency floor).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	acn "repro"
+	"repro/internal/estimate"
+	"repro/internal/tree"
+)
+
+func main() {
+	const (
+		width       = 1 << 12
+		serviceTime = 1.0  // one token-service per node per time unit
+		linkDelay   = 0.25 // wire latency between components
+		offeredLoad = 3.0  // tokens per time unit arriving
+		tokens      = 3000
+	)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "peers\tcomponents\tthroughput\tp50 latency\tp99 latency\tbusiest node")
+	for _, peers := range []int{1, 4, 16, 64, 256} {
+		// The cut the decentralized rules converge to for this many peers.
+		level := estimate.IdealLevel(peers, width)
+		cut, err := tree.UniformCut(width, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := acn.Simulate(acn.SimConfig{
+			Width: width, Cut: cut, Nodes: peers,
+			ServiceTime: serviceTime, LinkDelay: linkDelay,
+			ArrivalRate: offeredLoad, Tokens: tokens, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.1f\t%.1f\t%.0f%%\n",
+			peers, len(cut), res.Throughput, res.LatencyP50, res.LatencyP99,
+			100*res.MaxNodeBusy)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffered load: %.1f tokens/unit; a single peer serves %.1f\n",
+		offeredLoad, 1/serviceTime)
+	fmt.Println("the network stops queueing once its effective width covers the load")
+}

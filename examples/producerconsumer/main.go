@@ -1,0 +1,67 @@
+// Producerconsumer: match resource supply with resource requests using two
+// back-to-back counting networks (Section 1.1 of the paper). Producers
+// offer worker slots; consumers submit jobs; every job is matched with
+// exactly one slot, with no central broker.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	acn "repro"
+)
+
+type slot struct{ Worker string }
+
+type job struct{ Name string }
+
+func main() {
+	m, err := acn.NewMatcher[slot, job](16, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const pairs = 200
+	var wg sync.WaitGroup
+	assignments := make(chan string, 2*pairs)
+
+	// Producers: workers advertising capacity, one slot each.
+	for i := 0; i < pairs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch, err := m.Produce(slot{Worker: fmt.Sprintf("worker-%03d", i)})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			j := <-ch
+			assignments <- fmt.Sprintf("worker-%03d <- %s", i, j.Name)
+		}(i)
+	}
+	// Consumers: jobs looking for a slot.
+	for i := 0; i < pairs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ch, err := m.Consume(job{Name: fmt.Sprintf("job-%03d", i)})
+			if err != nil {
+				log.Print(err)
+				return
+			}
+			<-ch // the slot assigned to this job
+		}(i)
+	}
+	wg.Wait()
+	close(assignments)
+
+	count := 0
+	for a := range assignments {
+		if count < 5 {
+			fmt.Println(a)
+		}
+		count++
+	}
+	fmt.Printf("... %d assignments in total, %d unmatched\n", count, m.Pending())
+}

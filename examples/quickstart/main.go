@@ -1,0 +1,59 @@
+// Quickstart: build an adaptive counting network, grow the overlay, let
+// the maintenance rules split the network, and draw counter values.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	acn "repro"
+)
+
+func main() {
+	// A width-256 network: the whole BITONIC[256] starts on one node.
+	net, err := acn.New(acn.Config{Width: 256, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("start: %d node, %d component\n", net.NumNodes(), net.NumComponents())
+
+	// The overlay grows to 64 nodes; each node estimates the system size
+	// from its neighborhood on the ring and splits the components it hosts
+	// until its local invariant holds.
+	net.AddNodes(63)
+	rounds, err := net.MaintainToFixpoint(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after growth: %d nodes, %d components (%d maintenance rounds)\n",
+		net.NumNodes(), net.NumComponents(), rounds)
+
+	width, err := net.EffectiveWidth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	depth, err := net.EffectiveDepth()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("effective width %d, effective depth %d\n", width, depth)
+
+	// Draw counter values. Each token enters a random input wire, hops
+	// between components over the overlay, and exits with a value.
+	client, err := net.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tr, err := client.Inject()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("token %d: value=%d (exit wire %d, %d component hops, %d name tries)\n",
+			i, tr.Value, tr.OutWire, tr.WireHops, tr.EntryTries)
+	}
+
+	m := net.Metrics()
+	fmt.Printf("totals: %d tokens, %d splits, %d merges, %d DHT lookups\n",
+		m.Tokens, m.Splits, m.Merges, m.NameLookups)
+}

@@ -1,0 +1,277 @@
+package baseline
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/chord"
+)
+
+func TestCentralCounts(t *testing.T) {
+	ring := chord.NewRing(1)
+	ring.JoinN(8)
+	c, err := NewCentral(ring, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		v, hops := c.Next()
+		if v != i {
+			t.Fatalf("value = %d, want %d", v, i)
+		}
+		if hops != 1 {
+			t.Fatalf("hops = %d, want 1", hops)
+		}
+	}
+	if c.Hops() != 20 {
+		t.Fatalf("total hops = %d, want 20", c.Hops())
+	}
+	if !ring.Contains(c.Host()) {
+		t.Fatal("host not a ring member")
+	}
+}
+
+func TestCentralEmptyRing(t *testing.T) {
+	if _, err := NewCentral(chord.NewRing(2), "x"); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+func TestCentralConcurrentUnique(t *testing.T) {
+	ring := chord.NewRing(3)
+	ring.JoinN(4)
+	c, err := NewCentral(ring, "ctr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 500
+	seen := make([]map[uint64]bool, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		seen[g] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v, _ := c.Next()
+				seen[g][v] = true
+			}
+		}(g)
+	}
+	wg.Wait()
+	all := make(map[uint64]bool, workers*per)
+	for _, m := range seen {
+		for v := range m {
+			if all[v] {
+				t.Fatalf("duplicate counter value %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != workers*per {
+		t.Fatalf("got %d distinct values, want %d", len(all), workers*per)
+	}
+}
+
+func TestStaticShape(t *testing.T) {
+	ring := chord.NewRing(4)
+	ring.JoinN(16)
+	s, err := NewStatic(ring, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Objects() != 80 { // 16*4*5/4
+		t.Fatalf("objects = %d, want 80", s.Objects())
+	}
+	if s.Depth() != 10 {
+		t.Fatalf("depth = %d, want 10", s.Depth())
+	}
+	perNode := s.ObjectsPerNode()
+	total := 0
+	for _, k := range perNode {
+		total += k
+	}
+	if total != 80 {
+		t.Fatalf("per-node objects sum to %d, want 80", total)
+	}
+}
+
+func TestStaticCounts(t *testing.T) {
+	ring := chord.NewRing(5)
+	ring.JoinN(32)
+	w := 8
+	s, err := NewStatic(ring, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5*w; i++ {
+		v, hops, err := s.Next(rng.Intn(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i) {
+			t.Fatalf("token %d got value %d", i, v)
+		}
+		if hops < 1 || hops > s.Depth() {
+			t.Fatalf("hops = %d outside [1,%d]", hops, s.Depth())
+		}
+	}
+	if !s.Out().HasStep() {
+		t.Fatalf("static output %v not step", s.Out())
+	}
+	if s.Hops() == 0 {
+		t.Fatal("no hops recorded")
+	}
+	if _, _, err := s.Next(-1); err == nil {
+		t.Fatal("bad wire accepted")
+	}
+}
+
+func TestDiffractingTreeCounts(t *testing.T) {
+	d, err := NewDiffractingTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Leaves() != 8 {
+		t.Fatalf("leaves = %d, want 8", d.Leaves())
+	}
+	for i := uint64(0); i < 40; i++ {
+		v, hops := d.Next()
+		if v != i {
+			t.Fatalf("value = %d, want %d", v, i)
+		}
+		if hops != 4 { // 3 levels + leaf
+			t.Fatalf("hops = %d, want 4", hops)
+		}
+	}
+	if !d.Visits().HasStep() {
+		t.Fatalf("leaf visits %v not step", d.Visits())
+	}
+	if d.Hops() != 160 {
+		t.Fatalf("total hops = %d, want 160", d.Hops())
+	}
+}
+
+func TestDiffractingTreeValidation(t *testing.T) {
+	if _, err := NewDiffractingTree(-1); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	if _, err := NewDiffractingTree(31); err == nil {
+		t.Fatal("huge depth accepted")
+	}
+	d, err := NewDiffractingTree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, hops := d.Next(); v != 0 || hops != 1 {
+		t.Fatalf("depth-0 tree: v=%d hops=%d", v, hops)
+	}
+}
+
+func TestReactiveTreeValidation(t *testing.T) {
+	if _, err := NewReactiveTree(0, 0, 4); err == nil {
+		t.Fatal("zero unfold threshold accepted")
+	}
+	if _, err := NewReactiveTree(4, 8, 4); err == nil {
+		t.Fatal("foldAt >= unfoldAt accepted")
+	}
+	if _, err := NewReactiveTree(8, 2, 31); err == nil {
+		t.Fatal("huge depth accepted")
+	}
+}
+
+func TestReactiveTreeCountsWithoutReconfig(t *testing.T) {
+	r, err := NewReactiveTree(1<<30, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		v, hops := r.Next()
+		if v != i {
+			t.Fatalf("value = %d, want %d", v, i)
+		}
+		if hops != 1 {
+			t.Fatalf("hops = %d, want 1 (never unfolded)", hops)
+		}
+	}
+}
+
+// TestReactiveTreeValueSequenceAcrossReconfig: unfold and fold transfer
+// state exactly, so the issued values stay 0,1,2,... through arbitrary
+// reconfigurations.
+func TestReactiveTreeValueSequenceAcrossReconfig(t *testing.T) {
+	r, err := NewReactiveTree(10, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := uint64(0)
+	draw := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			v, _ := r.Next()
+			if v != next {
+				t.Fatalf("value = %d, want %d (leaves=%d)", v, next, r.Leaves())
+			}
+			next++
+		}
+	}
+	draw(30) // hot: single leaf sees 30 tokens
+	if unfolds, _ := r.React(); unfolds == 0 {
+		t.Fatal("expected an unfold under load")
+	}
+	draw(60) // both leaves hot
+	r.React()
+	if r.Leaves() < 3 {
+		t.Fatalf("tree did not keep unfolding: %d leaves", r.Leaves())
+	}
+	draw(2) // cold window
+	if _, folds := r.React(); folds == 0 {
+		t.Fatal("expected folds when cold")
+	}
+	draw(20)
+	// Fold everything by repeated cold reactions.
+	for i := 0; i < 10 && r.Leaves() > 1; i++ {
+		r.React()
+	}
+	if r.Leaves() != 1 {
+		t.Fatalf("tree did not fold back: %d leaves", r.Leaves())
+	}
+	draw(20)
+}
+
+func TestReactiveTreeDepthCapped(t *testing.T) {
+	r, err := NewReactiveTree(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 64; i++ {
+			r.Next()
+		}
+		r.React()
+	}
+	for _, d := range r.Depths() {
+		if d > 2 {
+			t.Fatalf("leaf at depth %d beyond cap", d)
+		}
+	}
+	if r.Leaves() != 4 {
+		t.Fatalf("leaves = %d, want 4 at the cap", r.Leaves())
+	}
+}
+
+func TestReversedBits(t *testing.T) {
+	tests := []struct {
+		path string
+		want uint64
+	}{
+		{"", 0}, {"0", 0}, {"1", 1}, {"10", 1}, {"01", 2}, {"11", 3},
+	}
+	for _, tt := range tests {
+		if got := reversedBits(tt.path); got != tt.want {
+			t.Errorf("reversedBits(%q) = %d, want %d", tt.path, got, tt.want)
+		}
+	}
+}

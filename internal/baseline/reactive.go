@@ -1,0 +1,193 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ReactiveTree is a reactive diffracting tree in the spirit of
+// Della-Libera & Shavit (Section 1.3 of the paper's related work): a
+// counting tree whose leaves unfold into subtrees when their recent load is
+// high and fold back when it is low. It adapts to *load*, whereas the
+// adaptive counting network adapts to *system size* — the E22 experiment
+// contrasts the two. The tree may be uneven; a leaf at depth d with
+// bit-reversed index r issues the values r, r+2^d, r+2*2^d, ...
+// (fold/unfold transfers state exactly, so the emitted value sequence is
+// gap-free across reconfigurations).
+type ReactiveTree struct {
+	unfoldAt uint64 // window load at which a leaf unfolds
+	foldAt   uint64 // combined window load at which a sibling pair folds
+	maxDepth int
+
+	mu    sync.Mutex
+	nodes map[string]*rtNode // key: bit path from the root ("" = root)
+}
+
+// rtNode is a tree position: internal nodes hold a toggle, leaves hold the
+// issued-value count and the current load window.
+type rtNode struct {
+	leaf   bool
+	toggle uint64 // internal: next child (bit 0 = left)
+	visits uint64 // leaf: values issued
+	window uint64 // leaf: tokens since the last React
+}
+
+// NewReactiveTree creates a tree that starts as a single counter and
+// unfolds a leaf whose per-window load reaches unfoldAt, folding sibling
+// pairs whose combined window load drops below foldAt. maxDepth caps the
+// unfolding.
+func NewReactiveTree(unfoldAt, foldAt uint64, maxDepth int) (*ReactiveTree, error) {
+	if unfoldAt == 0 || foldAt >= unfoldAt {
+		return nil, fmt.Errorf("baseline: need 0 <= foldAt < unfoldAt, got %d/%d", foldAt, unfoldAt)
+	}
+	if maxDepth < 0 || maxDepth > 30 {
+		return nil, fmt.Errorf("baseline: maxDepth %d out of range [0,30]", maxDepth)
+	}
+	return &ReactiveTree{
+		unfoldAt: unfoldAt,
+		foldAt:   foldAt,
+		maxDepth: maxDepth,
+		nodes:    map[string]*rtNode{"": {leaf: true}},
+	}, nil
+}
+
+// Next issues the next counter value; hops is the number of tree levels
+// traversed plus one for the leaf.
+func (r *ReactiveTree) Next() (value uint64, hops int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	path := ""
+	for {
+		n := r.nodes[path]
+		hops++
+		if n.leaf {
+			d := len(path)
+			value = n.visits<<uint(d) + reversedBits(path)
+			n.visits++
+			n.window++
+			return value, hops
+		}
+		bit := byte('0' + n.toggle%2)
+		n.toggle++
+		path += string(bit)
+	}
+}
+
+// React applies one reactive adjustment pass over the load window and
+// resets it. It returns the number of unfolds and folds performed.
+func (r *ReactiveTree) React() (unfolds, folds int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	paths := make([]string, 0, len(r.nodes))
+	for p, n := range r.nodes {
+		if n.leaf {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+
+	// Unfold hot leaves. Children created here have no load history yet,
+	// so they are exempt from folding until the next pass.
+	fresh := make(map[string]bool)
+	for _, p := range paths {
+		n := r.nodes[p]
+		if !n.leaf || n.window < r.unfoldAt || len(p) >= r.maxDepth {
+			continue
+		}
+		// Tokens alternate to the children; transfer state exactly.
+		left := &rtNode{leaf: true, visits: (n.visits + 1) / 2}
+		right := &rtNode{leaf: true, visits: n.visits / 2}
+		n.leaf = false
+		n.toggle = n.visits % 2
+		n.visits, n.window = 0, 0
+		r.nodes[p+"0"] = left
+		r.nodes[p+"1"] = right
+		fresh[p+"0"], fresh[p+"1"] = true, true
+		unfolds++
+	}
+
+	// Fold cold sibling pairs (deepest first so folding can cascade on
+	// later passes).
+	paths = paths[:0]
+	for p, n := range r.nodes {
+		if n.leaf && strings.HasSuffix(p, "0") && !fresh[p] {
+			paths = append(paths, p)
+		}
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if len(paths[i]) != len(paths[j]) {
+			return len(paths[i]) > len(paths[j])
+		}
+		return paths[i] < paths[j]
+	})
+	for _, p := range paths {
+		left := r.nodes[p]
+		parentPath := p[:len(p)-1]
+		right := r.nodes[parentPath+"1"]
+		if left == nil || right == nil || !left.leaf || !right.leaf || fresh[parentPath+"1"] {
+			continue
+		}
+		if left.window+right.window >= r.foldAt {
+			continue
+		}
+		parent := r.nodes[parentPath]
+		parent.leaf = true
+		parent.visits = left.visits + right.visits
+		parent.window = 0
+		parent.toggle = 0
+		delete(r.nodes, p)
+		delete(r.nodes, parentPath+"1")
+		folds++
+	}
+
+	// Reset remaining windows.
+	for _, n := range r.nodes {
+		if n.leaf {
+			n.window = 0
+		}
+	}
+	return unfolds, folds
+}
+
+// Leaves returns the current number of leaf counters.
+func (r *ReactiveTree) Leaves() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	count := 0
+	for _, n := range r.nodes {
+		if n.leaf {
+			count++
+		}
+	}
+	return count
+}
+
+// Depths returns the sorted multiset of leaf depths.
+func (r *ReactiveTree) Depths() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int
+	for p, n := range r.nodes {
+		if n.leaf {
+			out = append(out, len(p))
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// reversedBits interprets the path's bits LSB-first (the counting-tree
+// leaf order: consecutive tokens visit leaves 0, 1, 2, ... of the full
+// binary tree restricted to the current leaves).
+func reversedBits(path string) uint64 {
+	var r uint64
+	for i := 0; i < len(path); i++ {
+		if path[i] == '1' {
+			r |= 1 << uint(i)
+		}
+	}
+	return r
+}

@@ -1,0 +1,198 @@
+// Package bitonic constructs the classical counting networks of Aspnes,
+// Herlihy and Shavit (JACM 1994) at balancer granularity:
+//
+//   - Bitonic[w]: isomorphic to Batcher's bitonic sorting network, depth
+//     (log w)(log w + 1)/2 layers and w*log w*(log w + 1)/4 balancers.
+//   - Merger[w]: the merging sub-network used by Bitonic.
+//   - Periodic[w]: log w identical Block[w] networks in series (isomorphic
+//     to the periodic balanced sorting network of Dowd et al.).
+//
+// These serve two roles in this repository: as the ground truth that the
+// component-based adaptive decomposition must expand to (experiment E1),
+// and as the static baseline of Section 2 of the paper ("the simple
+// implementation").
+package bitonic
+
+import (
+	"fmt"
+
+	"repro/internal/balancer"
+)
+
+// New constructs the Bitonic[w] counting network. Width must be a power of
+// two and at least 2.
+func New(width int) (*balancer.Network, error) {
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	return balancer.Build(width, bitonicLayers(wires(width)))
+}
+
+// NewMerger constructs the Merger[w] network: given inputs whose top and
+// bottom halves each have the step property, its outputs have the step
+// property.
+func NewMerger(width int) (*balancer.Network, error) {
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	return balancer.Build(width, mergerLayers(wires(width)))
+}
+
+// NewPeriodic constructs the Periodic[w] counting network: log2(w)
+// consecutive Block[w] networks.
+func NewPeriodic(width int) (*balancer.Network, error) {
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	var layers []balancer.Layer
+	block := blockLayers(wires(width))
+	for i := 0; i < log2(width); i++ {
+		layers = append(layers, block...)
+	}
+	return balancer.Build(width, layers)
+}
+
+// NewBlock constructs a single Block[w] network (one stage of Periodic).
+func NewBlock(width int) (*balancer.Network, error) {
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	return balancer.Build(width, blockLayers(wires(width)))
+}
+
+// PeriodicSchedule returns the comparator schedule of Periodic[w] so that
+// callers can build partial pipelines (used by the E21 generality probe:
+// substituting idealized components for sub-structures of the periodic
+// network).
+func PeriodicSchedule(width int) ([]balancer.Layer, error) {
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	var layers []balancer.Layer
+	block := blockLayers(wires(width))
+	for i := 0; i < log2(width); i++ {
+		layers = append(layers, block...)
+	}
+	return layers, nil
+}
+
+// BalancerCount returns the number of balancers in Bitonic[w]:
+// w * log w * (log w + 1) / 4.
+func BalancerCount(width int) int {
+	lw := log2(width)
+	return width * lw * (lw + 1) / 4
+}
+
+// LayerDepth returns the number of layers in Bitonic[w]:
+// log w * (log w + 1) / 2.
+func LayerDepth(width int) int {
+	lw := log2(width)
+	return lw * (lw + 1) / 2
+}
+
+func checkWidth(width int) error {
+	if width < 2 || width&(width-1) != 0 {
+		return fmt.Errorf("bitonic: width %d is not a power of two >= 2", width)
+	}
+	return nil
+}
+
+func wires(width int) []int {
+	ws := make([]int, width)
+	for i := range ws {
+		ws[i] = i
+	}
+	return ws
+}
+
+func log2(v int) int {
+	l := 0
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+// zip composes two independent schedules in parallel: layer i of the result
+// is the union of layer i of each. The schedules must touch disjoint wires.
+func zip(a, b []balancer.Layer) []balancer.Layer {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]balancer.Layer, n)
+	for i := 0; i < n; i++ {
+		var l balancer.Layer
+		if i < len(a) {
+			l = append(l, a[i]...)
+		}
+		if i < len(b) {
+			l = append(l, b[i]...)
+		}
+		out[i] = l
+	}
+	return out
+}
+
+// mergerLayers builds Merger over the ordered wire tracks ws, following the
+// AHS94 recursion: the even subsequence of the top half together with the
+// odd subsequence of the bottom half feed one half-width merger; the
+// remaining wires feed the other; a final layer of balancers joins output i
+// of the two sub-mergers onto adjacent tracks.
+func mergerLayers(ws []int) []balancer.Layer {
+	if len(ws) == 2 {
+		return []balancer.Layer{{{Top: ws[0], Bottom: ws[1]}}}
+	}
+	k := len(ws) / 2
+	m1 := make([]int, 0, k)
+	m2 := make([]int, 0, k)
+	for i := 0; i < k; i += 2 {
+		m1 = append(m1, ws[i]) // even of top half
+	}
+	for i := k + 1; i < 2*k; i += 2 {
+		m1 = append(m1, ws[i]) // odd of bottom half
+	}
+	for i := 1; i < k; i += 2 {
+		m2 = append(m2, ws[i]) // odd of top half
+	}
+	for i := k; i < 2*k; i += 2 {
+		m2 = append(m2, ws[i]) // even of bottom half
+	}
+	layers := zip(mergerLayers(m1), mergerLayers(m2))
+	final := make(balancer.Layer, 0, k)
+	for i := 0; i < k; i++ {
+		final = append(final, balancer.Comparator{Top: ws[2*i], Bottom: ws[2*i+1]})
+	}
+	return append(layers, final)
+}
+
+// bitonicLayers builds Bitonic over the ordered wire tracks ws: two
+// half-width bitonic networks followed by a full-width merger.
+func bitonicLayers(ws []int) []balancer.Layer {
+	if len(ws) == 2 {
+		return []balancer.Layer{{{Top: ws[0], Bottom: ws[1]}}}
+	}
+	k := len(ws) / 2
+	top := append([]int(nil), ws[:k]...)
+	bottom := append([]int(nil), ws[k:]...)
+	layers := zip(bitonicLayers(top), bitonicLayers(bottom))
+	return append(layers, mergerLayers(ws)...)
+}
+
+// blockLayers builds one Block: a mirror layer joining wire i with wire
+// w-1-i, followed by two recursive half-width blocks.
+func blockLayers(ws []int) []balancer.Layer {
+	if len(ws) == 2 {
+		return []balancer.Layer{{{Top: ws[0], Bottom: ws[1]}}}
+	}
+	k := len(ws) / 2
+	mirror := make(balancer.Layer, 0, k)
+	for i := 0; i < k; i++ {
+		mirror = append(mirror, balancer.Comparator{Top: ws[i], Bottom: ws[len(ws)-1-i]})
+	}
+	top := append([]int(nil), ws[:k]...)
+	bottom := append([]int(nil), ws[k:]...)
+	rest := zip(blockLayers(top), blockLayers(bottom))
+	return append([]balancer.Layer{mirror}, rest...)
+}

@@ -1,0 +1,228 @@
+package bitonic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/balancer"
+)
+
+func widths() []int { return []int{2, 4, 8, 16, 32, 64} }
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	for _, w := range []int{0, 1, 3, 6, 12, -4} {
+		if _, err := New(w); err == nil {
+			t.Errorf("New(%d) accepted a non-power-of-two width", w)
+		}
+		if _, err := NewPeriodic(w); err == nil {
+			t.Errorf("NewPeriodic(%d) accepted a non-power-of-two width", w)
+		}
+		if _, err := NewMerger(w); err == nil {
+			t.Errorf("NewMerger(%d) accepted a non-power-of-two width", w)
+		}
+	}
+}
+
+func TestBitonicShape(t *testing.T) {
+	for _, w := range widths() {
+		n, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := n.Depth(), LayerDepth(w); got != want {
+			t.Errorf("Bitonic[%d] depth = %d, want %d", w, got, want)
+		}
+		if got, want := n.Size(), BalancerCount(w); got != want {
+			t.Errorf("Bitonic[%d] size = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestBitonicCountsSequential(t *testing.T) {
+	for _, w := range widths() {
+		n, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 4*w; i++ {
+			got := n.Traverse(rng.Intn(w))
+			if got != i%w {
+				t.Fatalf("Bitonic[%d]: token %d exited wire %d, want %d", w, i, got, i%w)
+			}
+		}
+		if err := n.CheckStep(); err != nil {
+			t.Fatalf("Bitonic[%d]: %v", w, err)
+		}
+	}
+}
+
+func TestBitonicCountsConcurrent(t *testing.T) {
+	for _, w := range []int{4, 16} {
+		n, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 500; i++ {
+					n.Traverse(rng.Intn(w))
+				}
+			}(int64(g))
+		}
+		wg.Wait()
+		if err := n.CheckStep(); err != nil {
+			t.Fatalf("Bitonic[%d] concurrent: %v", w, err)
+		}
+	}
+}
+
+// TestBitonicAdversarialSchedules interleaves bursts on a single wire with
+// scattered tokens: the quiescent step property must hold regardless of the
+// input distribution.
+func TestBitonicAdversarialSchedules(t *testing.T) {
+	for _, w := range []int{8, 32} {
+		n, err := New(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for burst := 0; burst < w; burst++ {
+			for i := 0; i < burst+3; i++ {
+				n.Traverse(burst) // hammer one wire
+			}
+			n.Traverse((burst * 7) % w)
+			if err := n.CheckStep(); err != nil {
+				t.Fatalf("Bitonic[%d] after burst on %d: %v", w, burst, err)
+			}
+		}
+	}
+}
+
+func TestMergerMergesStepInputs(t *testing.T) {
+	for _, w := range widths() {
+		if w < 4 {
+			continue
+		}
+		rng := rand.New(rand.NewSource(int64(w)))
+		for trial := 0; trial < 10; trial++ {
+			n, err := NewMerger(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Feed each half a step-property input distribution.
+			topTotal := rng.Intn(3 * w)
+			botTotal := rng.Intn(3 * w)
+			top := balancer.StepSeq(w/2, int64(topTotal))
+			bot := balancer.StepSeq(w/2, int64(botTotal))
+			var feeds []int
+			for i, c := range top {
+				for k := int64(0); k < c; k++ {
+					feeds = append(feeds, i)
+				}
+			}
+			for i, c := range bot {
+				for k := int64(0); k < c; k++ {
+					feeds = append(feeds, w/2+i)
+				}
+			}
+			rng.Shuffle(len(feeds), func(i, j int) { feeds[i], feeds[j] = feeds[j], feeds[i] })
+			for _, in := range feeds {
+				n.Traverse(in)
+			}
+			if err := n.CheckStep(); err != nil {
+				t.Fatalf("Merger[%d] trial %d: %v", w, trial, err)
+			}
+		}
+	}
+}
+
+func TestPeriodicShape(t *testing.T) {
+	for _, w := range widths() {
+		n, err := NewPeriodic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lw := 0
+		for v := w; v > 1; v >>= 1 {
+			lw++
+		}
+		if got, want := n.Depth(), lw*lw; got != want {
+			t.Errorf("Periodic[%d] depth = %d, want %d", w, got, want)
+		}
+		if got, want := n.Size(), lw*lw*w/2; got != want {
+			t.Errorf("Periodic[%d] size = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestPeriodicCounts(t *testing.T) {
+	for _, w := range widths() {
+		n, err := NewPeriodic(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(w) * 3))
+		for i := 0; i < 4*w; i++ {
+			got := n.Traverse(rng.Intn(w))
+			if got != i%w {
+				t.Fatalf("Periodic[%d]: token %d exited wire %d, want %d", w, i, got, i%w)
+			}
+		}
+		if err := n.CheckStep(); err != nil {
+			t.Fatalf("Periodic[%d]: %v", w, err)
+		}
+	}
+}
+
+func TestBlockIsSingleStage(t *testing.T) {
+	n, err := NewBlock(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Depth() != 3 {
+		t.Fatalf("Block[8] depth = %d, want 3", n.Depth())
+	}
+}
+
+func TestBalancerCountFormula(t *testing.T) {
+	tests := []struct{ w, want int }{
+		{2, 1}, {4, 6}, {8, 24}, {16, 80},
+	}
+	for _, tt := range tests {
+		if got := BalancerCount(tt.w); got != tt.want {
+			t.Errorf("BalancerCount(%d) = %d, want %d", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestPeriodicSchedule(t *testing.T) {
+	layers, err := PeriodicSchedule(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewPeriodic(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layers) != full.Depth() {
+		t.Fatalf("schedule depth %d, network depth %d", len(layers), full.Depth())
+	}
+	if _, err := PeriodicSchedule(6); err == nil {
+		t.Fatal("invalid width accepted")
+	}
+	// The schedule is buildable and the resulting network counts.
+	net, err := balancer.Build(16, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if got := net.Traverse(i % 16); got != i%16 {
+			t.Fatalf("token %d exited %d", i, got)
+		}
+	}
+}

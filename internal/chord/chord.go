@@ -1,0 +1,251 @@
+// Package chord simulates the structured peer-to-peer overlay the paper
+// layers its counting network on (Section 1.4 and Section 3): a Chord ring
+// with uniformly random node identifiers, a distributed hash function
+// mapping object names to nodes, k-th successors, ring distances, and
+// hop-counted greedy finger-table lookups.
+//
+// The simulation is an idealized, always-stabilized Chord: finger i of node
+// n is successor(n + 2^i), computed against the current ring, and lookups
+// walk closest-preceding fingers. This preserves the O(log N) lookup cost
+// the paper assumes while keeping experiments deterministic. Node joins,
+// voluntary leaves and crashes reassign key ownership to successors, which
+// is the hand-off rule of Section 3.4.
+package chord
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// NodeID is a point on the Chord ring. The ring's circumference is the
+// full uint64 space; the paper's unit-circumference distances are obtained
+// by dividing by 2^64.
+type NodeID uint64
+
+// Ring is a simulated Chord ring. It is safe for concurrent use.
+type Ring struct {
+	mu  sync.RWMutex
+	rng *rand.Rand
+	ids []NodeID // sorted
+	set map[NodeID]bool
+}
+
+// NewRing creates an empty ring whose node identifiers are drawn from the
+// given seed (the "random identifiers" assumption of Section 1.4).
+func NewRing(seed int64) *Ring {
+	return &Ring{
+		rng: rand.New(rand.NewSource(seed)),
+		set: make(map[NodeID]bool),
+	}
+}
+
+// Join adds a node with a fresh uniformly random identifier and returns it.
+func (r *Ring) Join() NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		id := NodeID(r.rng.Uint64())
+		if r.set[id] {
+			continue
+		}
+		r.insertLocked(id)
+		return id
+	}
+}
+
+// JoinN adds n nodes and returns their identifiers.
+func (r *Ring) JoinN(n int) []NodeID {
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = r.Join()
+	}
+	return out
+}
+
+func (r *Ring) insertLocked(id NodeID) {
+	r.set[id] = true
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	r.ids = append(r.ids, 0)
+	copy(r.ids[i+1:], r.ids[i:])
+	r.ids[i] = id
+}
+
+// Remove removes a node from the ring (used for both voluntary leaves and
+// crashes; the difference is what the layer above does with the node's
+// state).
+func (r *Ring) Remove(id NodeID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.set[id] {
+		return fmt.Errorf("chord: node %d not in ring", id)
+	}
+	delete(r.set, id)
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
+	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+	return nil
+}
+
+// Size returns the number of nodes in the ring.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.ids)
+}
+
+// Contains reports whether id is a current ring member.
+func (r *Ring) Contains(id NodeID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.set[id]
+}
+
+// Nodes returns the node identifiers in ring order.
+func (r *Ring) Nodes() []NodeID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]NodeID, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// RandomNode returns a uniformly random current member using the given
+// source (kept separate from the ring's own identifier stream so workloads
+// don't perturb membership randomness).
+func (r *Ring) RandomNode(rng *rand.Rand) (NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ids) == 0 {
+		return 0, fmt.Errorf("chord: ring is empty")
+	}
+	return r.ids[rng.Intn(len(r.ids))], nil
+}
+
+// Successor returns the node that owns key: the first node clockwise from
+// key (inclusive).
+func (r *Ring) Successor(key NodeID) (NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.successorLocked(key)
+}
+
+func (r *Ring) successorLocked(key NodeID) (NodeID, error) {
+	if len(r.ids) == 0 {
+		return 0, fmt.Errorf("chord: ring is empty")
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= key })
+	if i == len(r.ids) {
+		i = 0
+	}
+	return r.ids[i], nil
+}
+
+// SuccK returns the k-th clockwise successor of node v (succ_1 is the next
+// node). v must be a ring member; k wraps around the ring.
+func (r *Ring) SuccK(v NodeID, k int) (NodeID, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !r.set[v] {
+		return 0, fmt.Errorf("chord: node %d not in ring", v)
+	}
+	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= v })
+	return r.ids[(i+k)%len(r.ids)], nil
+}
+
+// Dist returns the clockwise distance from u to v as a fraction of the
+// ring circumference (the paper's d(u, v) with unit circumference).
+func (r *Ring) Dist(u, v NodeID) float64 {
+	return float64(uint64(v-u)) / math.Exp2(64)
+}
+
+// Owner returns the node responsible for the named object under the
+// distributed hash function h (Section 2: component b lives on node h(b)).
+func (r *Ring) Owner(name string) (NodeID, error) {
+	return r.Successor(Hash(name))
+}
+
+// Hash is the distributed hash function h: 64-bit FNV-1a of the name,
+// passed through a splitmix64 finalizer and interpreted as a ring
+// position. The finalizer matters: component names are short and differ in
+// one or two characters, and raw FNV-1a clusters such names in a narrow
+// arc of the ring, which would defeat the balls-into-bins placement that
+// Lemma 3.5 relies on.
+func Hash(name string) NodeID {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return NodeID(mix64(h.Sum64()))
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective avalanche.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Lookup routes a query for key from node `from` using greedy
+// closest-preceding-finger forwarding and returns the owner and the number
+// of overlay hops taken. This is the cost model for every DHT lookup in the
+// adaptive network.
+func (r *Ring) Lookup(from NodeID, key NodeID) (owner NodeID, hops int, err error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.ids) == 0 {
+		return 0, 0, fmt.Errorf("chord: ring is empty")
+	}
+	if !r.set[from] {
+		return 0, 0, fmt.Errorf("chord: lookup source %d not in ring", from)
+	}
+	target, err := r.successorLocked(key)
+	if err != nil {
+		return 0, 0, err
+	}
+	cur := from
+	for cur != target {
+		next := r.closestPrecedingLocked(cur, key)
+		if next == cur {
+			// No finger strictly between cur and key: the owner is our
+			// immediate successor; take the final hop.
+			next = target
+		}
+		cur = next
+		hops++
+		if hops > 2*len(r.ids)+64 {
+			return 0, 0, fmt.Errorf("chord: lookup for %d from %d did not converge", key, from)
+		}
+	}
+	return target, hops, nil
+}
+
+// closestPrecedingLocked returns the finger of cur that most closely
+// precedes key: finger i is successor(cur + 2^i).
+func (r *Ring) closestPrecedingLocked(cur, key NodeID) NodeID {
+	for i := 63; i >= 0; i-- {
+		f, err := r.successorLocked(cur + NodeID(uint64(1)<<uint(i)))
+		if err != nil {
+			return cur
+		}
+		if f != cur && inOpenInterval(NodeID(uint64(f)), cur, key) {
+			return f
+		}
+	}
+	return cur
+}
+
+// inOpenInterval reports whether x lies in the circular open interval
+// (a, b).
+func inOpenInterval(x, a, b NodeID) bool {
+	if a == b {
+		return x != a // the whole ring except a
+	}
+	if a < b {
+		return a < x && x < b
+	}
+	return x > a || x < b
+}

@@ -1,0 +1,121 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based checks (testing/quick) of the ring invariants.
+
+// TestQuickSuccessorOwnsKey: for any key, Successor(key) is a member and
+// no member lies strictly between the key and its successor.
+func TestQuickSuccessorOwnsKey(t *testing.T) {
+	r := NewRing(11)
+	r.JoinN(64)
+	members := make(map[NodeID]bool)
+	for _, id := range r.Nodes() {
+		members[id] = true
+	}
+	f := func(key uint64) bool {
+		owner, err := r.Successor(NodeID(key))
+		if err != nil || !members[owner] {
+			return false
+		}
+		for m := range members {
+			if m != owner && inOpenInterval(m, NodeID(key)-1, owner) && m != NodeID(key)-1 {
+				// A member strictly inside (key-1, owner) that is >= key
+				// would be a closer successor.
+				if uint64(m-NodeID(key)) < uint64(owner-NodeID(key)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLookupAgreesWithSuccessor: greedy finger routing always arrives
+// at the key's owner, from any start.
+func TestQuickLookupAgreesWithSuccessor(t *testing.T) {
+	r := NewRing(12)
+	ids := r.JoinN(128)
+	rng := rand.New(rand.NewSource(12))
+	f := func(key uint64) bool {
+		from := ids[rng.Intn(len(ids))]
+		got, _, err := r.Lookup(from, NodeID(key))
+		if err != nil {
+			return false
+		}
+		want, err := r.Successor(NodeID(key))
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistAdditive: clockwise distances compose around the ring.
+func TestQuickDistAdditive(t *testing.T) {
+	r := NewRing(13)
+	f := func(a, b, c uint64) bool {
+		u, v, x := NodeID(a), NodeID(b), NodeID(c)
+		// d(u,v) + d(v,x) == d(u,x) modulo full turns.
+		sum := r.Dist(u, v) + r.Dist(v, x)
+		direct := r.Dist(u, x)
+		diff := sum - direct
+		return diff > -1e-9 && (diff < 1e-9 || (diff > 1-1e-9 && diff < 1+1e-9))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHashDeterministicAndSpread: equal names hash equally; a family
+// of sibling names does not collapse onto one ring arc (the dispersion
+// property Lemma 3.5 needs; see the mix64 comment in chord.go).
+func TestQuickHashDeterministicAndSpread(t *testing.T) {
+	f := func(s string) bool {
+		return Hash(s) == Hash(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sibling-style names must spread: max pairwise closeness above 1/4096
+	// of the ring for 24 names would indicate clustering.
+	names := []string{
+		"B16384@00", "B16384@01", "M16384@02", "M16384@03", "X16384@04", "X16384@05",
+		"B16384@10", "B16384@11", "M16384@12", "M16384@13", "X16384@14", "X16384@15",
+		"M16384@20", "M16384@21", "X16384@22", "X16384@23",
+		"M16384@30", "M16384@31", "X16384@32", "X16384@33",
+		"X16384@40", "X16384@41", "X16384@50", "X16384@51",
+	}
+	// With 276 pairs and ideal hashing, about 0.13 pairs are expected
+	// within 1/4096 of each other; raw FNV-1a put most of them within
+	// 1/100 of one another. Flag only real clustering.
+	r := NewRing(1)
+	within4096, within1M := 0, 0
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			d := r.Dist(Hash(a), Hash(b))
+			if d > 0.5 {
+				d = 1 - d
+			}
+			if d < 1.0/4096 {
+				within4096++
+			}
+			if d < 1.0/(1<<20) {
+				within1M++
+			}
+		}
+	}
+	if within4096 > 5 {
+		t.Fatalf("%d sibling name pairs within 1/4096 of the ring: hash clusters", within4096)
+	}
+	if within1M > 0 {
+		t.Fatalf("%d sibling name pairs within 2^-20 of the ring: hash degenerate", within1M)
+	}
+}

@@ -1,0 +1,313 @@
+// Package core implements the paper's contribution: an adaptive bitonic
+// counting network layered on a Chord-style peer-to-peer overlay
+// (Sections 2 and 3).
+//
+// The network is a cut of the decomposition tree T_w whose components are
+// mapped to overlay nodes by the distributed hash function (component b
+// lives on node h(b)). Each node locally estimates the system size
+// (Section 3.1), derives a level estimate l_v, and maintains the local
+// invariant that every component it hosts is at level >= l_v by splitting
+// components (Section 3.2); when its level estimate decreases it merges
+// components it previously split. Tokens enter through input components
+// located by trying at most log(w)-1 names (Section 3.5), traverse
+// components over cached out-neighbor addresses, and exit with a counter
+// value.
+//
+// The engine is a discrete simulation with synchronous token traversal:
+// structural operations (split/merge/churn) exclude traversals, so every
+// structural operation sees a quiescent network, matching the freeze
+// protocol of Section 2.2. All overlay costs (DHT lookups, their hop
+// counts, inter-component wire hops) are metered rather than incurred, so
+// experiments measure the protocol, not the host machine. The
+// message-level asynchronous protocol (freeze queues, in-flight draining)
+// is exercised separately in internal/dist.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/chord"
+	"repro/internal/component"
+	"repro/internal/tree"
+)
+
+// Config configures an adaptive counting network.
+type Config struct {
+	// Width is w, the maximum-parallelism width of BITONIC[w]. Must be a
+	// power of two >= 2.
+	Width int
+	// Seed drives all randomness (node identifiers, workload choices).
+	Seed int64
+	// EstimatorMult is the multiplier in the size estimator's second step
+	// (the paper uses 4). Zero means 4.
+	EstimatorMult int
+	// DisableCache turns off out-neighbor address caching (Section 3.5);
+	// every token forwarding then pays a fresh DHT lookup (E13 ablation).
+	DisableCache bool
+	// DisableMerge turns off the merge rule (E18 ablation).
+	DisableMerge bool
+	// InitialNodes is the number of nodes at construction time (>= 1).
+	// Zero means 1, the paper's initial state: the whole network on one
+	// node.
+	InitialNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EstimatorMult == 0 {
+		c.EstimatorMult = 4
+	}
+	if c.InitialNodes == 0 {
+		c.InitialNodes = 1
+	}
+	return c
+}
+
+// Metrics are cumulative protocol counters.
+type Metrics struct {
+	Tokens       uint64 // tokens injected (and emitted)
+	Splits       uint64 // component splits
+	Merges       uint64 // component merges
+	WireHops     uint64 // tokens forwarded component-to-component
+	NameLookups  uint64 // DHT name lookups issued
+	LookupHops   uint64 // overlay hops spent in those lookups
+	EntryTries   uint64 // names tried to locate an input component
+	CacheHits    uint64 // out-neighbor cache hits
+	CacheMisses  uint64 // out-neighbor cache misses (stale or cold)
+	Moves        uint64 // components transferred due to joins/leaves
+	Repairs      uint64 // components reconstructed after crashes
+	MaintainRuns uint64 // maintenance rounds executed
+}
+
+// liveComp is a component currently in the network.
+type liveComp struct {
+	st   *component.State
+	host chord.NodeID
+	// nbrs caches the addresses of resolved out-neighbor components
+	// (Section 3.5: "the addresses of the out-neighbors can be cached").
+	// A component has O(1) distinct out-neighbors, so the cache stays
+	// constant-sized; entries are validated on use and dropped when the
+	// neighbor splits, merges or moves.
+	nbrs map[tree.Path]chord.NodeID
+}
+
+// nodeInfo is the per-node view.
+type nodeInfo struct {
+	comps    map[tree.Path]bool
+	level    int
+	estimate float64
+	tokens   uint64 // component-processing events on this node
+}
+
+// Network is a simulated adaptive counting network.
+type Network struct {
+	cfg  Config
+	ring *chord.Ring
+
+	mu       sync.RWMutex
+	rng      *rand.Rand
+	comps    map[tree.Path]*liveComp
+	nodes    map[chord.NodeID]*nodeInfo
+	lost     map[tree.Path]bool // components destroyed by crashes, pending repair
+	injected []uint64
+	out      []uint64
+	metrics  Metrics
+}
+
+// New creates an adaptive network of the given width with
+// cfg.InitialNodes nodes; the entire BITONIC[w] starts as a single root
+// component on the owner of its name.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	root, err := tree.Root(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InitialNodes < 1 {
+		return nil, fmt.Errorf("core: InitialNodes %d < 1", cfg.InitialNodes)
+	}
+	n := &Network{
+		cfg:      cfg,
+		ring:     chord.NewRing(cfg.Seed),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		comps:    make(map[tree.Path]*liveComp),
+		nodes:    make(map[chord.NodeID]*nodeInfo),
+		lost:     make(map[tree.Path]bool),
+		injected: make([]uint64, cfg.Width),
+		out:      make([]uint64, cfg.Width),
+	}
+	for i := 0; i < cfg.InitialNodes; i++ {
+		id := n.ring.Join()
+		n.nodes[id] = &nodeInfo{comps: make(map[tree.Path]bool)}
+	}
+	host, err := n.ring.Owner(root.Name())
+	if err != nil {
+		return nil, err
+	}
+	n.placeLocked(root.Path, component.New(root), host)
+	return n, nil
+}
+
+// Width returns the network width w.
+func (n *Network) Width() int { return n.cfg.Width }
+
+// NumNodes returns the current number of overlay nodes.
+func (n *Network) NumNodes() int { return n.ring.Size() }
+
+// NumComponents returns the current number of live components.
+func (n *Network) NumComponents() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.comps)
+}
+
+// Metrics returns a snapshot of the cumulative counters.
+func (n *Network) Metrics() Metrics {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.metrics
+}
+
+// Nodes returns the current overlay node identifiers.
+func (n *Network) Nodes() []chord.NodeID { return n.ring.Nodes() }
+
+// placeLocked inserts a component on a host.
+func (n *Network) placeLocked(p tree.Path, st *component.State, host chord.NodeID) {
+	n.comps[p] = &liveComp{st: st, host: host, nbrs: make(map[tree.Path]chord.NodeID)}
+	n.nodes[host].comps[p] = true
+}
+
+// removeCompLocked removes a live component from the directory.
+func (n *Network) removeCompLocked(p tree.Path) {
+	lc := n.comps[p]
+	if lc == nil {
+		return
+	}
+	if node := n.nodes[lc.host]; node != nil {
+		delete(node.comps, p)
+	}
+	delete(n.comps, p)
+}
+
+// AddNode joins one node to the overlay and migrates the components whose
+// names it now owns (standard Chord key hand-off; the counting network
+// state itself needs no change, Section 3.4).
+func (n *Network) AddNode() chord.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.ring.Join()
+	n.nodes[id] = &nodeInfo{comps: make(map[tree.Path]bool)}
+	n.reconcileOwnersLocked()
+	return id
+}
+
+// AddNodes joins k nodes.
+func (n *Network) AddNodes(k int) []chord.NodeID {
+	out := make([]chord.NodeID, k)
+	for i := range out {
+		out[i] = n.AddNode()
+	}
+	return out
+}
+
+// RemoveNode gracefully removes a node: its components move to their new
+// owners (the successor), per Section 3.4.
+func (n *Network) RemoveNode(id chord.NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := n.nodes[id]
+	if node == nil {
+		return fmt.Errorf("core: node %d not in network", id)
+	}
+	if n.ring.Size() == 1 {
+		return fmt.Errorf("core: cannot remove the last node")
+	}
+	if err := n.ring.Remove(id); err != nil {
+		return err
+	}
+	delete(n.nodes, id)
+	// Graceful leave: the departing node hands its components to the new
+	// owners before going.
+	for p := range node.comps {
+		lc := n.comps[p]
+		host, err := n.ring.Owner(lc.st.Comp.Name())
+		if err != nil {
+			return err
+		}
+		lc.host = host
+		n.nodes[host].comps[p] = true
+		n.metrics.Moves++
+	}
+	n.reconcileOwnersLocked()
+	return nil
+}
+
+// RemoveRandomNode removes a uniformly random node gracefully.
+func (n *Network) RemoveRandomNode() (chord.NodeID, error) {
+	id, err := n.randomNode()
+	if err != nil {
+		return 0, err
+	}
+	return id, n.RemoveNode(id)
+}
+
+// CrashNode removes a node without warning: the state of its components is
+// lost. The components are reconstructed by Stabilize (Section 3.4,
+// "recovering from such faults through self-stabilization").
+func (n *Network) CrashNode(id chord.NodeID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := n.nodes[id]
+	if node == nil {
+		return fmt.Errorf("core: node %d not in network", id)
+	}
+	if n.ring.Size() == 1 {
+		return fmt.Errorf("core: cannot crash the last node")
+	}
+	if err := n.ring.Remove(id); err != nil {
+		return err
+	}
+	delete(n.nodes, id)
+	for p := range node.comps {
+		delete(n.comps, p)
+		n.lost[p] = true
+	}
+	n.reconcileOwnersLocked()
+	return nil
+}
+
+// CrashRandomNode crashes a uniformly random node.
+func (n *Network) CrashRandomNode() (chord.NodeID, error) {
+	id, err := n.randomNode()
+	if err != nil {
+		return 0, err
+	}
+	return id, n.CrashNode(id)
+}
+
+func (n *Network) randomNode() (chord.NodeID, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring.RandomNode(n.rng)
+}
+
+// reconcileOwnersLocked migrates every component whose name's owner changed
+// (Chord key ownership transfer after churn).
+func (n *Network) reconcileOwnersLocked() {
+	for p, lc := range n.comps {
+		host, err := n.ring.Owner(lc.st.Comp.Name())
+		if err != nil {
+			continue
+		}
+		if host == lc.host {
+			continue
+		}
+		if old := n.nodes[lc.host]; old != nil {
+			delete(old.comps, p)
+		}
+		lc.host = host
+		n.nodes[host].comps[p] = true
+		n.metrics.Moves++
+	}
+}

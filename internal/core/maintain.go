@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chord"
+	"repro/internal/component"
+	"repro/internal/estimate"
+	"repro/internal/tree"
+)
+
+// refreshEstimatesLocked recomputes every node's size and level estimate
+// (Section 3.1). Estimates are deterministic functions of the current ring.
+func (n *Network) refreshEstimatesLocked() error {
+	params := estimate.Params{Mult: n.cfg.EstimatorMult}
+	for id, node := range n.nodes {
+		est, err := estimate.SizeEstimate(n.ring, id, params)
+		if err != nil {
+			return err
+		}
+		node.estimate = est.Size
+		node.level = estimate.Level(est.Size, n.cfg.Width)
+	}
+	return nil
+}
+
+// Maintain runs one decentralized maintenance round: every node refreshes
+// its level estimate and applies the splitting and merging rules of
+// Section 3.2 to the components it is responsible for. It reports whether
+// any structural change happened.
+func (n *Network) Maintain() (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.maintainLocked()
+}
+
+// MaintainToFixpoint runs maintenance rounds until no node wants further
+// changes (or maxRounds is hit) and returns the number of rounds that made
+// changes.
+func (n *Network) MaintainToFixpoint(maxRounds int) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for round := 0; round < maxRounds; round++ {
+		changed, err := n.maintainLocked()
+		if err != nil {
+			return round, err
+		}
+		if !changed {
+			return round, nil
+		}
+	}
+	return maxRounds, fmt.Errorf("core: maintenance did not converge in %d rounds", maxRounds)
+}
+
+func (n *Network) maintainLocked() (bool, error) {
+	if len(n.lost) > 0 {
+		return false, fmt.Errorf("core: %d components lost to crashes; run Stabilize first", len(n.lost))
+	}
+	if err := n.refreshEstimatesLocked(); err != nil {
+		return false, err
+	}
+	n.metrics.MaintainRuns++
+	changed := false
+
+	// Deterministic node order keeps runs reproducible.
+	ids := make([]chord.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	responsibilities := n.splitResponsibilitiesLocked()
+
+	for _, id := range ids {
+		node := n.nodes[id]
+		if node == nil {
+			continue
+		}
+		// Splitting rule: split every hosted component whose level is less
+		// than the node's level estimate.
+		paths := make([]tree.Path, 0, len(node.comps))
+		for p := range node.comps {
+			paths = append(paths, p)
+		}
+		sort.Slice(paths, func(i, j int) bool { return paths[i] < paths[j] })
+		for _, p := range paths {
+			lc := n.comps[p]
+			if lc == nil || lc.st.Comp.IsLeaf() {
+				continue
+			}
+			if p.Level() < node.level {
+				if err := n.splitLocked(p); err != nil {
+					return changed, err
+				}
+				changed = true
+			}
+		}
+		if n.cfg.DisableMerge {
+			continue
+		}
+		// Merging rule: the node responsible for a split component (the
+		// owner of its name, which re-hosts it after the merge) merges it
+		// back when the component's level is no longer below the node's
+		// level estimate.
+		for _, p := range responsibilities[id] {
+			// Skip entries that went stale within this round: p (or an
+			// ancestor) may already have been merged back into a single
+			// component, vacating p's subtree.
+			if n.coveredLocked(p) {
+				continue
+			}
+			if p.Level() >= node.level {
+				if err := n.mergeLocked(p); err != nil {
+					return changed, err
+				}
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}
+
+// splitResponsibilitiesLocked returns the split-but-unmerged components
+// (the internal nodes of the current cut), grouped by the node that owns
+// each one's name. The paper has each node remember the components it
+// split; deriving the set from name ownership is equivalent under Chord's
+// hand-off rule (the successor inherits both the name and the merge
+// responsibility, Section 3.4) and additionally survives crashes.
+func (n *Network) splitResponsibilitiesLocked() map[chord.NodeID][]tree.Path {
+	seen := make(map[tree.Path]bool)
+	out := make(map[chord.NodeID][]tree.Path, len(n.nodes))
+	for p := range n.comps {
+		for {
+			pp, _, ok := p.Parent()
+			if !ok {
+				break
+			}
+			p = pp
+			if seen[p] {
+				break
+			}
+			seen[p] = true
+			c, err := tree.ComponentAt(n.cfg.Width, p)
+			if err != nil {
+				continue
+			}
+			owner, err := n.ring.Owner(c.Name())
+			if err != nil {
+				continue
+			}
+			out[owner] = append(out[owner], p)
+		}
+	}
+	// Merge bottom-up: deepest parents first, so a recursive merge of an
+	// ancestor sees already-merged children when both are due.
+	for _, paths := range out {
+		sort.Slice(paths, func(i, j int) bool {
+			if len(paths[i]) != len(paths[j]) {
+				return len(paths[i]) > len(paths[j])
+			}
+			return paths[i] < paths[j]
+		})
+	}
+	return out
+}
+
+// coveredLocked reports whether p or one of its ancestors is a live
+// component (in which case p's subtree is vacated and p cannot be merged).
+func (n *Network) coveredLocked(p tree.Path) bool {
+	for {
+		if n.comps[p] != nil {
+			return true
+		}
+		pp, _, ok := p.Parent()
+		if !ok {
+			return false
+		}
+		p = pp
+	}
+}
+
+// splitLocked splits the component at p into its children (Section 2.2),
+// initializing them from the component's cumulative per-input-wire counts
+// and mapping each child to the owner of its name.
+func (n *Network) splitLocked(p tree.Path) error {
+	lc := n.comps[p]
+	if lc == nil {
+		return fmt.Errorf("core: split: no live component at %q", p)
+	}
+	c := lc.st.Comp
+	if c.IsLeaf() {
+		return fmt.Errorf("core: split: %v is an individual balancer", c)
+	}
+	inputs, err := n.inputCountsLocked(c)
+	if err != nil {
+		return err
+	}
+	var sum uint64
+	for _, cnt := range inputs {
+		sum += cnt
+	}
+	if sum != lc.st.Total() {
+		return fmt.Errorf("core: split: %v in-neighbor counts %d != processed %d", c, sum, lc.st.Total())
+	}
+	totals, err := component.SplitTotalsFromInputs(c, inputs)
+	if err != nil {
+		return err
+	}
+	n.removeCompLocked(p)
+	for i, child := range c.Children() {
+		host, err := n.ring.Owner(child.Name())
+		if err != nil {
+			return err
+		}
+		n.placeLocked(child.Path, component.NewWithTotal(child, totals[i]), host)
+	}
+	n.metrics.Splits++
+	return nil
+}
+
+// mergeLocked merges the children of p back into p (Section 2.2),
+// recursively merging children that are themselves split, and re-hosts the
+// merged component on the owner of its name.
+func (n *Network) mergeLocked(p tree.Path) error {
+	if n.comps[p] != nil {
+		return fmt.Errorf("core: merge: %q is already live", p)
+	}
+	c, err := tree.ComponentAt(n.cfg.Width, p)
+	if err != nil {
+		return err
+	}
+	if c.IsLeaf() {
+		return fmt.Errorf("core: merge: %v has no children", c)
+	}
+	children := c.Children()
+	totals := make([]uint64, len(children))
+	for i, child := range children {
+		if n.comps[child.Path] == nil {
+			if err := n.mergeLocked(child.Path); err != nil {
+				return fmt.Errorf("core: recursive merge of %v: %w", child, err)
+			}
+		}
+		totals[i] = n.comps[child.Path].st.Total()
+	}
+	if err := component.CheckConservation(c, totals); err != nil {
+		return err
+	}
+	total, err := component.MergeTotal(c, totals)
+	if err != nil {
+		return err
+	}
+	for _, child := range children {
+		n.removeCompLocked(child.Path)
+	}
+	host, err := n.ring.Owner(c.Name())
+	if err != nil {
+		return err
+	}
+	n.placeLocked(p, component.NewWithTotal(c, total), host)
+	n.metrics.Merges++
+	return nil
+}
+
+// inputCountsLocked computes component c's cumulative per-input-wire token
+// counts from its in-neighbors' states (and the per-network-input
+// injection counters for input-layer wires).
+func (n *Network) inputCountsLocked(c tree.Component) ([]uint64, error) {
+	inputs := make([]uint64, c.Width)
+	for in := 0; in < c.Width; in++ {
+		src, srcOut, fromNet, netIn, err := tree.SourceOf(n.cfg.Width, c.Path, in)
+		if err != nil {
+			return nil, err
+		}
+		if fromNet {
+			inputs[in] = n.injected[netIn]
+			continue
+		}
+		cnt, err := n.emittedOnLocked(src, srcOut)
+		if err != nil {
+			return nil, err
+		}
+		inputs[in] = cnt
+	}
+	return inputs, nil
+}
+
+// emittedOnLocked returns the cumulative tokens emitted on output wire out
+// of the (possibly non-live) component c by descending to the live
+// component that produces the wire.
+func (n *Network) emittedOnLocked(c tree.Component, out int) (uint64, error) {
+	for n.comps[c.Path] == nil {
+		if c.IsLeaf() {
+			return 0, fmt.Errorf("core: no live component produces output %d of %v", out, c)
+		}
+		ci, co := tree.OutputSource(c.Kind, c.Width, out)
+		child, err := c.Child(ci)
+		if err != nil {
+			return 0, err
+		}
+		c, out = child, co
+	}
+	return n.comps[c.Path].st.EmittedOn(out), nil
+}

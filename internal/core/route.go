@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chord"
+	"repro/internal/tree"
+)
+
+// TokenTrace reports the per-token protocol costs of one injection.
+type TokenTrace struct {
+	// Value is the counter value the token carries out: for the m-th token
+	// emitted on output wire j, the value is m*w + j.
+	Value uint64
+	// OutWire is the network output wire.
+	OutWire int
+	// EntryTries is the number of names tried to find a live input
+	// component (Section 3.5: at most log(w)-1).
+	EntryTries int
+	// WireHops is the number of components the token passed through.
+	WireHops int
+	// NameLookups is the number of DHT lookups issued for this token.
+	NameLookups int
+	// LookupHops is the number of overlay hops those lookups cost.
+	LookupHops int
+	// CacheHits and CacheMisses count out-neighbor cache use.
+	CacheHits, CacheMisses int
+}
+
+// Client injects tokens into the network. It remembers the input component
+// it last used (Section 3.5: "if it remembers the component that it had
+// sent its previous tokens to") and issues its DHT lookups from a fixed
+// overlay node, the client's access point.
+type Client struct {
+	net       *Network
+	at        chord.NodeID
+	lastEntry tree.Path
+	hasLast   bool
+}
+
+// NewClient creates a client whose lookups start at a random overlay node.
+func (n *Network) NewClient() (*Client, error) {
+	n.mu.Lock()
+	at, err := n.ring.RandomNode(n.rng)
+	n.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return &Client{net: n, at: at}, nil
+}
+
+// Inject sends one token into a random input wire and returns its trace.
+func (c *Client) Inject() (TokenTrace, error) {
+	c.net.mu.Lock()
+	in := c.net.rng.Intn(c.net.cfg.Width)
+	c.net.mu.Unlock()
+	return c.InjectAt(in)
+}
+
+// InjectAt sends one token into the given network input wire.
+func (c *Client) InjectAt(in int) (TokenTrace, error) {
+	n := c.net
+	if in < 0 || in >= n.cfg.Width {
+		return TokenTrace{}, fmt.Errorf("core: input wire %d out of range [0,%d)", in, n.cfg.Width)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	if !n.ring.Contains(c.at) {
+		// The client's access point left; reattach to a random node.
+		at, err := n.ring.RandomNode(n.rng)
+		if err != nil {
+			return TokenTrace{}, err
+		}
+		c.at = at
+	}
+
+	var tr TokenTrace
+	entry, err := n.findEntryLocked(c, in, &tr)
+	if err != nil {
+		return TokenTrace{}, err
+	}
+	n.injected[in]++
+	n.metrics.Tokens++
+
+	cur := entry
+	for {
+		lc := n.comps[cur.Path]
+		if lc == nil {
+			return TokenTrace{}, fmt.Errorf("core: component %v vanished mid-route", cur)
+		}
+		tr.WireHops++
+		if host := n.nodes[lc.host]; host != nil {
+			host.tokens++
+		}
+		o := lc.st.Step()
+		next, exited, netOut, err := n.resolveNextLocked(lc, cur, o, &tr)
+		if err != nil {
+			return TokenTrace{}, err
+		}
+		if exited {
+			tr.OutWire = netOut
+			tr.Value = n.out[netOut]*uint64(n.cfg.Width) + uint64(netOut)
+			n.out[netOut]++
+			n.mergeTrace(tr)
+			return tr, nil
+		}
+		cur = next
+	}
+}
+
+// mergeTrace folds a token trace into the cumulative metrics. Caller holds
+// the write lock.
+func (n *Network) mergeTrace(tr TokenTrace) {
+	n.metrics.WireHops += uint64(tr.WireHops)
+	n.metrics.NameLookups += uint64(tr.NameLookups)
+	n.metrics.LookupHops += uint64(tr.LookupHops)
+	n.metrics.EntryTries += uint64(tr.EntryTries)
+	n.metrics.CacheHits += uint64(tr.CacheHits)
+	n.metrics.CacheMisses += uint64(tr.CacheMisses)
+}
+
+// lookupLocked meters one DHT lookup for a component name issued from
+// node at, and reports whether the component is live (and where).
+func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace) (chord.NodeID, bool, error) {
+	c, err := tree.ComponentAt(n.cfg.Width, p)
+	if err != nil {
+		return 0, false, err
+	}
+	owner, hops, err := n.ring.Lookup(at, chord.Hash(c.Name()))
+	if err != nil {
+		return 0, false, err
+	}
+	tr.NameLookups++
+	tr.LookupHops += hops
+	lc := n.comps[p]
+	if lc == nil {
+		return owner, false, nil
+	}
+	return lc.host, true, nil
+}
+
+// findEntryLocked locates the live input component covering input wire in
+// by trying names on the input balancer's ancestor chain (Section 3.5
+// bounds this by the chain length).
+func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace) (tree.Component, error) {
+	// The input balancer for wire in is the leaf reached by descending the
+	// input maps from the root.
+	cur := tree.MustRoot(n.cfg.Width)
+	wire := in
+	for !cur.IsLeaf() {
+		ci, cin := tree.ChildInput(cur.Kind, cur.Width, wire)
+		child, err := cur.Child(ci)
+		if err != nil {
+			return tree.Component{}, err
+		}
+		cur, wire = child, cin
+	}
+	leaf := cur.Path
+	maxLevel := len(leaf)
+
+	try := func(p tree.Path) (bool, error) {
+		tr.EntryTries++
+		_, live, err := n.lookupLocked(c.at, p, tr)
+		if err != nil {
+			return false, err
+		}
+		if live {
+			c.lastEntry, c.hasLast = p, true
+		}
+		return live, nil
+	}
+
+	// The unique live component covering the leaf is at exactly one level
+	// of its ancestor chain. A client that remembers where its previous
+	// token entered tries that level first, then zigzags outward — in
+	// steady state one try suffices; a fresh client walks the chain from
+	// the leaf upward (at most log(w) tries, Section 3.5).
+	if c.hasLast {
+		last := len(c.lastEntry)
+		tried := make(map[int]bool, maxLevel+1)
+		for delta := 0; delta <= maxLevel; delta++ {
+			for _, lvl := range []int{last + delta, last - delta} {
+				if lvl < 0 || lvl > maxLevel || tried[lvl] {
+					continue
+				}
+				tried[lvl] = true
+				live, err := try(leaf[:lvl])
+				if err != nil {
+					return tree.Component{}, err
+				}
+				if live {
+					return tree.ComponentAt(n.cfg.Width, leaf[:lvl])
+				}
+				if delta == 0 {
+					break // the two candidates coincide
+				}
+			}
+		}
+		return tree.Component{}, fmt.Errorf("core: no input component covers wire %d", in)
+	}
+
+	for lvl := maxLevel; lvl >= 0; lvl-- {
+		live, err := try(leaf[:lvl])
+		if err != nil {
+			return tree.Component{}, err
+		}
+		if live {
+			return tree.ComponentAt(n.cfg.Width, leaf[:lvl])
+		}
+	}
+	return tree.Component{}, fmt.Errorf("core: no input component covers wire %d", in)
+}
+
+// resolveNextLocked resolves where a token leaving component cur on output
+// wire o goes, using and maintaining cur's out-neighbor address cache.
+//
+// The wire algebra (climbing out of parents, descending into the sibling
+// subtree) is pure local computation; the DHT is needed only to learn
+// which component of the candidate chain is live and where it is hosted. A
+// warm cache therefore forwards with zero lookups: the sender computes the
+// candidate chain, finds a cached neighbor on it, and sends directly; a
+// stale entry bounces (metered as a cache miss) and triggers a fresh
+// resolution.
+func (n *Network) resolveNextLocked(lc *liveComp, cur tree.Component, o int, tr *TokenTrace) (next tree.Component, exited bool, netOut int, err error) {
+	node, wire := cur, o
+	for {
+		parent, idx, ok := node.Parent(n.cfg.Width)
+		if !ok {
+			return tree.Component{}, true, wire, nil
+		}
+		d := tree.ChildNext(parent.Kind, parent.Width, idx, wire)
+		if !d.ToChild {
+			node, wire = parent, d.ParentOut
+			continue
+		}
+		target, cerr := parent.Child(d.Child)
+		if cerr != nil {
+			return tree.Component{}, false, 0, cerr
+		}
+		wire = d.ChildIn
+		return n.descendToLiveLocked(lc, target, wire, tr)
+	}
+}
+
+// descendToLiveLocked finds the live component covering (target, wire),
+// consulting the sender's neighbor cache before issuing DHT lookups.
+func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire int, tr *TokenTrace) (tree.Component, bool, int, error) {
+	// Compute the candidate chain locally (free).
+	chain := []tree.Component{target}
+	cwire := wire
+	for cur := target; !cur.IsLeaf(); {
+		ci, cin := tree.ChildInput(cur.Kind, cur.Width, cwire)
+		child, err := cur.Child(ci)
+		if err != nil {
+			return tree.Component{}, false, 0, err
+		}
+		chain = append(chain, child)
+		cur, cwire = child, cin
+	}
+
+	if !n.cfg.DisableCache {
+		for _, cand := range chain {
+			host, cached := lc.nbrs[cand.Path]
+			if !cached {
+				continue
+			}
+			if got := n.comps[cand.Path]; got != nil && got.host == host {
+				tr.CacheHits++
+				return cand, false, 0, nil
+			}
+			// Stale: the direct send bounces; re-resolve below.
+			tr.CacheMisses++
+			delete(lc.nbrs, cand.Path)
+		}
+	}
+
+	// Cold or stale: walk the chain with metered DHT lookups.
+	for _, cand := range chain {
+		host, live, err := n.lookupLocked(lc.host, cand.Path, tr)
+		if err != nil {
+			return tree.Component{}, false, 0, err
+		}
+		if live {
+			if !n.cfg.DisableCache {
+				lc.nbrs[cand.Path] = host
+			}
+			return cand, false, 0, nil
+		}
+	}
+	return tree.Component{}, false, 0, fmt.Errorf("core: no live component covers %v", target)
+}

@@ -1,0 +1,103 @@
+package cutnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+// Property-based checks (testing/quick) of the cut-network invariants.
+
+// TestQuickSequentialCounting: for random widths, cuts and arrival wires,
+// sequential token t always exits wire t mod w (the strong form of
+// Theorem 2.1).
+func TestQuickSequentialCounting(t *testing.T) {
+	f := func(seed int64, wb, pb byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 4 << (int(wb) % 4)
+		cut := tree.RandomCut(w, float64(pb%100)/100, rng)
+		n, err := New(w, cut)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2*w; i++ {
+			out, err := n.Inject(rng.Intn(w))
+			if err != nil || out != i%w {
+				return false
+			}
+		}
+		return n.CheckStep() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitTransparency: a random split in the middle of a random
+// token stream is observationally invisible.
+func TestQuickSplitTransparency(t *testing.T) {
+	f := func(seed int64, wb byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 8 << (int(wb) % 3)
+		n, err := NewRootOnly(w)
+		if err != nil {
+			return false
+		}
+		pre := rng.Intn(3 * w)
+		for i := 0; i < pre; i++ {
+			if out, err := n.Inject(rng.Intn(w)); err != nil || out != i%w {
+				return false
+			}
+		}
+		var splittable []tree.Path
+		for _, c := range n.Components() {
+			if !c.IsLeaf() {
+				splittable = append(splittable, c.Path)
+			}
+		}
+		if len(splittable) > 0 {
+			if err := n.Split(splittable[rng.Intn(len(splittable))]); err != nil {
+				return false
+			}
+		}
+		for i := pre; i < pre+2*w; i++ {
+			if out, err := n.Inject(rng.Intn(w)); err != nil || out != i%w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWidthDepthBounds: Lemmas 2.2 and 2.3 as properties over random
+// cuts.
+func TestQuickWidthDepthBounds(t *testing.T) {
+	f := func(seed int64, pb byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 16
+		cut := tree.RandomCut(w, float64(pb%100)/100, rng)
+		n, err := New(w, cut)
+		if err != nil {
+			return false
+		}
+		levels := cut.Levels()
+		minL, maxL := levels[0], levels[len(levels)-1]
+		depth, err := n.EffectiveDepth()
+		if err != nil {
+			return false
+		}
+		width, err := n.EffectiveWidth()
+		if err != nil {
+			return false
+		}
+		return depth <= (maxL+1)*(maxL+2)/2 && width >= 1<<minL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

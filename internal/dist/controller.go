@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chord"
+	"repro/internal/estimate"
+	"repro/internal/tree"
+)
+
+// Controller drives a Cluster toward the cut that the paper's
+// decentralized rules converge to, while tokens keep flowing. It plays the
+// role of the per-node maintenance loops of Section 3.2 for the
+// asynchronous engine: ownership of each component name determines which
+// node's level estimate governs it, exactly as in internal/core, and the
+// resulting splits and merges run the freeze protocol against live
+// traffic.
+type Controller struct {
+	cl   *Cluster
+	ring *chord.Ring
+	mult int
+}
+
+// NewController attaches a controller to a cluster and a ring.
+func NewController(cl *Cluster, ring *chord.Ring) *Controller {
+	return &Controller{cl: cl, ring: ring, mult: estimate.DefaultParams().Mult}
+}
+
+// DesiredCut computes the fixpoint cut of the split/merge rules for the
+// current ring: a component is split exactly when the owner of its name
+// estimates a level greater than the component's.
+func (c *Controller) DesiredCut() (tree.Cut, error) {
+	w := c.cl.Width()
+	levels := make(map[chord.NodeID]int, c.ring.Size())
+	for _, id := range c.ring.Nodes() {
+		est, err := estimate.SizeEstimate(c.ring, id, estimate.Params{Mult: c.mult})
+		if err != nil {
+			return nil, err
+		}
+		levels[id] = estimate.Level(est.Size, w)
+	}
+	cut := make(tree.Cut)
+	var walk func(comp tree.Component) error
+	walk = func(comp tree.Component) error {
+		if !comp.IsLeaf() {
+			owner, err := c.ring.Owner(comp.Name())
+			if err != nil {
+				return err
+			}
+			if levels[owner] > comp.Level() {
+				for _, child := range comp.Children() {
+					if err := walk(child); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		cut[comp.Path] = true
+		return nil
+	}
+	root, err := tree.Root(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return cut, nil
+}
+
+// Sync reconfigures the cluster to the desired cut using live splits and
+// merges, and returns the number of operations performed.
+func (c *Controller) Sync() (splits, merges int, err error) {
+	desired, err := c.DesiredCut()
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.SyncTo(desired)
+}
+
+// SyncTo reconfigures the cluster to an explicit target cut.
+func (c *Controller) SyncTo(desired tree.Cut) (splits, merges int, err error) {
+	if err := desired.Validate(c.cl.Width()); err != nil {
+		return 0, 0, err
+	}
+	// Phase 1: merges. A desired member that is a strict ancestor of a
+	// current member must be formed by a (recursive) merge.
+	current := c.cl.Cut()
+	var toMerge []tree.Path
+	for p := range desired {
+		if current[p] {
+			continue
+		}
+		for q := range current {
+			if p.IsAncestorOf(q) {
+				toMerge = append(toMerge, p)
+				break
+			}
+		}
+	}
+	sort.Slice(toMerge, func(i, j int) bool { return toMerge[i] < toMerge[j] })
+	for _, p := range toMerge {
+		if err := c.cl.Merge(p); err != nil {
+			return splits, merges, fmt.Errorf("dist: sync merge %q: %w", p, err)
+		}
+		merges++
+	}
+	// Phase 2: splits. A current member that is a strict ancestor of a
+	// desired member splits repeatedly until the subtree matches.
+	for {
+		current = c.cl.Cut()
+		var toSplit []tree.Path
+		for q := range current {
+			if desired[q] {
+				continue
+			}
+			for p := range desired {
+				if q.IsAncestorOf(p) {
+					toSplit = append(toSplit, q)
+					break
+				}
+			}
+		}
+		if len(toSplit) == 0 {
+			break
+		}
+		sort.Slice(toSplit, func(i, j int) bool { return toSplit[i] < toSplit[j] })
+		for _, q := range toSplit {
+			if err := c.cl.Split(q); err != nil {
+				return splits, merges, fmt.Errorf("dist: sync split %q: %w", q, err)
+			}
+			splits++
+		}
+	}
+	// Sanity: we must have arrived.
+	current = c.cl.Cut()
+	for p := range desired {
+		if !current[p] {
+			return splits, merges, fmt.Errorf("dist: sync did not reach target at %q", p)
+		}
+	}
+	return splits, merges, nil
+}

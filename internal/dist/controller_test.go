@@ -1,0 +1,164 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/chord"
+	"repro/internal/tree"
+)
+
+func TestDesiredCutGrowsWithRing(t *testing.T) {
+	w := 1 << 12
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(1)
+	ring.JoinN(1)
+	ctrl := NewController(cl, ring)
+
+	small, err := ctrl.DesiredCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 1 {
+		t.Fatalf("1-node desired cut has %d members, want 1", len(small))
+	}
+	ring.JoinN(255)
+	big, err := ctrl.DesiredCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big) <= len(small) {
+		t.Fatalf("desired cut did not grow: %d -> %d", len(small), len(big))
+	}
+	if err := big.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncToValidatesTarget(t *testing.T) {
+	cl, err := NewRootOnly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(2)
+	ring.JoinN(4)
+	ctrl := NewController(cl, ring)
+	if _, _, err := ctrl.SyncTo(tree.Cut{"0": true}); err == nil {
+		t.Fatal("invalid target cut accepted")
+	}
+}
+
+func TestSyncReachesTargetQuiescent(t *testing.T) {
+	w := 64
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(3)
+	ring.JoinN(64)
+	ctrl := NewController(cl, ring)
+	splits, merges, err := ctrl.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if splits == 0 {
+		t.Fatal("expected splits for 64 nodes")
+	}
+	desired, err := ctrl.DesiredCut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cl.Cut()
+	if len(got) != len(desired) {
+		t.Fatalf("cut size %d, desired %d", len(got), len(desired))
+	}
+	// Shrink: back toward the root.
+	for _, id := range ring.Nodes()[4:] {
+		if err := ring.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, merges, err = ctrl.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merges == 0 {
+		t.Fatal("expected merges after shrink")
+	}
+}
+
+// TestAsyncAdaptiveEndToEnd is the full asynchronous story: concurrent
+// token traffic, ring churn, controller syncs running the freeze protocol,
+// and a clean quiescent step property at the end.
+func TestAsyncAdaptiveEndToEnd(t *testing.T) {
+	w := 256
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := chord.NewRing(4)
+	ring.JoinN(1)
+	ctrl := NewController(cl, ring)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Inject(rng.Intn(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+
+	// Churn while traffic flows: grow in steps, then shrink.
+	for i := 0; i < 4; i++ {
+		ring.JoinN(32)
+		if _, _, err := ctrl.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := cl.Size()
+	if grown < 6 {
+		t.Fatalf("cluster did not expand: %d components", grown)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for ring.Size() > 4 {
+		id, err := ring.RandomNode(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ring.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ctrl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() >= grown {
+		t.Fatalf("cluster did not contract: %d -> %d", grown, cl.Size())
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Cut().Validate(w); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,535 @@
+// Package dist is the asynchronous, message-level engine for the adaptive
+// counting network: tokens are concurrent goroutines hopping between
+// components, and splits and merges run the paper's freeze protocol
+// (Section 2.2) against live traffic instead of stopping the world:
+//
+//   - Split: the component is frozen (arrivals are stored), its per-wire
+//     arrival history initializes the children, the children replace it,
+//     and the stored tokens are forwarded to the children.
+//   - Merge: the assembly's entry children are frozen, the internal
+//     in-flight tokens drain (detected by the conservation invariant:
+//     every stage has processed the same number of tokens), the children's
+//     states combine into the parent, and stored tokens are forwarded to
+//     the parent.
+//
+// Late messages addressed to replaced components are re-resolved against
+// the current cut: descending through input maps after a split, ascending
+// through the entry-child inverse after a merge. This mirrors what a node
+// does when a cached out-neighbor address turns out to be stale.
+//
+// Compared to internal/core (the metered structural simulator), this
+// package trades instrumentation for real concurrency; internal/core
+// validates the paper's quantitative claims, this package validates the
+// protocol's safety under interleavings (including with -race).
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/balancer"
+	"repro/internal/component"
+	"repro/internal/cutnet"
+	"repro/internal/tree"
+)
+
+// compState is the lifecycle of a live component.
+type compState uint8
+
+const (
+	stateActive compState = iota + 1
+	stateFrozen
+	stateDead
+)
+
+// retarget tells a stored token where to resume.
+type retarget struct {
+	path tree.Path
+	wire int
+}
+
+// queuedToken is a token stored at a frozen component.
+type queuedToken struct {
+	wire    int
+	release chan retarget
+}
+
+// comp is a live component plus its protocol state.
+type comp struct {
+	c tree.Component
+
+	mu      sync.Mutex
+	state   compState
+	total   uint64
+	arrived []uint64 // cumulative arrivals per input wire (processed + queued)
+	queue   []queuedToken
+}
+
+// processedPerWireLocked returns arrivals minus queued, per wire: the
+// tokens this component has actually routed, broken down by input wire.
+func (c *comp) processedPerWireLocked() []uint64 {
+	out := make([]uint64, len(c.arrived))
+	copy(out, c.arrived)
+	for _, q := range c.queue {
+		out[q.wire]--
+	}
+	return out
+}
+
+// Cluster is a counting network under the asynchronous engine.
+type Cluster struct {
+	w int
+
+	topo  sync.RWMutex // guards comps (the cut)
+	comps map[tree.Path]*comp
+
+	cmu      sync.Mutex // guards the edge counters
+	out      []uint64
+	injected []uint64
+
+	reconfig sync.Mutex // serializes Split/Merge against each other only
+}
+
+// New creates a cluster implementing BITONIC[w] with the given cut.
+func New(w int, cut tree.Cut) (*Cluster, error) {
+	if err := cut.Validate(w); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		w:        w,
+		comps:    make(map[tree.Path]*comp, len(cut)),
+		out:      make([]uint64, w),
+		injected: make([]uint64, w),
+	}
+	comps, err := cut.Components(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range comps {
+		cl.comps[c.Path] = &comp{c: c, state: stateActive, arrived: make([]uint64, c.Width)}
+	}
+	return cl, nil
+}
+
+// NewRootOnly creates a cluster whose network is a single root component.
+func NewRootOnly(w int) (*Cluster, error) {
+	return New(w, tree.RootCut())
+}
+
+// Width returns the network width.
+func (cl *Cluster) Width() int { return cl.w }
+
+// Size returns the number of live components.
+func (cl *Cluster) Size() int {
+	cl.topo.RLock()
+	defer cl.topo.RUnlock()
+	return len(cl.comps)
+}
+
+// Cut returns the current cut.
+func (cl *Cluster) Cut() tree.Cut {
+	cl.topo.RLock()
+	defer cl.topo.RUnlock()
+	cut := make(tree.Cut, len(cl.comps))
+	for p := range cl.comps {
+		cut[p] = true
+	}
+	return cut
+}
+
+// Inject routes one token in from network input wire in, concurrently with
+// any other tokens and any reconfiguration, and returns the output wire.
+func (cl *Cluster) Inject(in int) (int, error) {
+	if in < 0 || in >= cl.w {
+		return 0, fmt.Errorf("dist: input wire %d out of range [0,%d)", in, cl.w)
+	}
+	cl.cmu.Lock()
+	cl.injected[in]++
+	cl.cmu.Unlock()
+
+	// The network input wire belongs to whatever live component covers the
+	// root's input descent; delivery re-resolves as needed.
+	path, wire := tree.Path(""), in
+	for {
+		cm, rwire, err := cl.findLive(path, wire)
+		if err != nil {
+			return 0, err
+		}
+		out, stored, release, err := cm.arrive(rwire)
+		if err == errDead {
+			// The component was replaced between resolution and delivery;
+			// re-resolve against the current cut.
+			path, wire = cm.c.Path, rwire
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		if stored {
+			rt := <-release
+			path, wire = rt.path, rt.wire
+			continue
+		}
+		next, exited, netOut, err := cl.resolveNext(cm.c, out)
+		if err != nil {
+			return 0, err
+		}
+		if exited {
+			cl.cmu.Lock()
+			cl.out[netOut]++
+			cl.cmu.Unlock()
+			return netOut, nil
+		}
+		path, wire = next.path, next.wire
+	}
+}
+
+// arrive delivers a token to the component on input wire w. It returns
+// either the output wire (processed) or a release channel (stored because
+// the component is frozen). A dead component rejects the delivery so the
+// caller re-resolves.
+func (c *comp) arrive(w int) (out int, stored bool, release chan retarget, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case stateDead:
+		return 0, false, nil, errDead
+	case stateFrozen:
+		ch := make(chan retarget, 1)
+		c.arrived[w]++
+		c.queue = append(c.queue, queuedToken{wire: w, release: ch})
+		return 0, true, ch, nil
+	default:
+		c.arrived[w]++
+		out = int(c.total % uint64(c.c.Width))
+		c.total++
+		return out, false, nil, nil
+	}
+}
+
+var errDead = fmt.Errorf("dist: component replaced")
+
+// findLive resolves the live component covering (path, wire): path itself,
+// a descendant (after a split: descend through input maps), or an ancestor
+// (after a merge: ascend through the entry-child inverse).
+func (cl *Cluster) findLive(path tree.Path, wire int) (*comp, int, error) {
+	cl.topo.RLock()
+	defer cl.topo.RUnlock()
+	return cl.findLiveLocked(path, wire)
+}
+
+func (cl *Cluster) findLiveLocked(path tree.Path, wire int) (*comp, int, error) {
+	// Exact or descend.
+	cur, err := tree.ComponentAt(cl.w, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := wire
+	for {
+		if cm := cl.comps[cur.Path]; cm != nil {
+			return cm, w, nil
+		}
+		if cur.IsLeaf() {
+			break
+		}
+		ci, cin := tree.ChildInput(cur.Kind, cur.Width, w)
+		child, cerr := cur.Child(ci)
+		if cerr != nil {
+			return nil, 0, cerr
+		}
+		cur, w = child, cin
+	}
+	// Ascend: valid only along entry children (post-merge stragglers).
+	cur, err = tree.ComponentAt(cl.w, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	w = wire
+	for {
+		pp, idx, ok := cur.Path.Parent()
+		if !ok {
+			return nil, 0, fmt.Errorf("dist: no live component covers %q wire %d", path, wire)
+		}
+		parent, perr := tree.ComponentAt(cl.w, pp)
+		if perr != nil {
+			return nil, 0, perr
+		}
+		pin, isEntry := tree.InvChildInput(parent.Kind, parent.Width, idx, w)
+		if !isEntry {
+			return nil, 0, fmt.Errorf("dist: token stranded at non-entry %q wire %d", path, wire)
+		}
+		cur, w = parent, pin
+		if cm := cl.comps[cur.Path]; cm != nil {
+			return cm, w, nil
+		}
+	}
+}
+
+// nextHop is a resolved forwarding target.
+type nextHop struct {
+	path tree.Path
+	wire int
+}
+
+// resolveNext computes where a token leaving component c on output wire o
+// goes under the current cut.
+func (cl *Cluster) resolveNext(c tree.Component, o int) (nextHop, bool, int, error) {
+	cl.topo.RLock()
+	defer cl.topo.RUnlock()
+	node, wire := c, o
+	for {
+		parent, idx, ok := node.Parent(cl.w)
+		if !ok {
+			return nextHop{}, true, wire, nil
+		}
+		d := tree.ChildNext(parent.Kind, parent.Width, idx, wire)
+		if !d.ToChild {
+			node, wire = parent, d.ParentOut
+			continue
+		}
+		target, err := parent.Child(d.Child)
+		if err != nil {
+			return nextHop{}, false, 0, err
+		}
+		// Deliver at the coarsest level; findLive descends as needed when
+		// the token lands.
+		return nextHop{path: target.Path, wire: d.ChildIn}, false, 0, nil
+	}
+}
+
+// OutCounts returns the per-output-wire emission counts.
+func (cl *Cluster) OutCounts() balancer.Seq {
+	cl.cmu.Lock()
+	defer cl.cmu.Unlock()
+	s := make(balancer.Seq, cl.w)
+	for i, v := range cl.out {
+		s[i] = int64(v)
+	}
+	return s
+}
+
+// InCounts returns the per-input-wire injection counts.
+func (cl *Cluster) InCounts() balancer.Seq {
+	cl.cmu.Lock()
+	defer cl.cmu.Unlock()
+	s := make(balancer.Seq, cl.w)
+	for i, v := range cl.injected {
+		s[i] = int64(v)
+	}
+	return s
+}
+
+// CheckStep verifies the quiescent step property and token conservation.
+// The caller must ensure no Inject is in flight.
+func (cl *Cluster) CheckStep() error {
+	out := cl.OutCounts()
+	if !out.HasStep() {
+		return fmt.Errorf("dist: output %v violates the step property", out)
+	}
+	if got, want := out.Total(), cl.InCounts().Total(); got != want {
+		return fmt.Errorf("dist: %d tokens out, %d in", got, want)
+	}
+	return nil
+}
+
+// Split replaces the component at path p by its children while traffic
+// flows: freeze, initialize children from the frozen per-wire history,
+// swap, and forward stored tokens.
+func (cl *Cluster) Split(p tree.Path) error {
+	cl.reconfig.Lock()
+	defer cl.reconfig.Unlock()
+
+	cl.topo.RLock()
+	cm := cl.comps[p]
+	cl.topo.RUnlock()
+	if cm == nil {
+		return fmt.Errorf("dist: split: no live component at %q", p)
+	}
+	if cm.c.IsLeaf() {
+		return fmt.Errorf("dist: split: %v is an individual balancer", cm.c)
+	}
+
+	// Freeze and snapshot the processed-per-wire history.
+	cm.mu.Lock()
+	if cm.state != stateActive {
+		cm.mu.Unlock()
+		return fmt.Errorf("dist: split: %v is not active", cm.c)
+	}
+	cm.state = stateFrozen
+	processed := cm.processedPerWireLocked()
+	cm.mu.Unlock()
+
+	totals, flows, err := component.SplitFlows(cm.c, processed)
+	if err != nil {
+		return err
+	}
+	children := cm.c.Children()
+	newComps := make([]*comp, len(children))
+	for i, child := range children {
+		newComps[i] = &comp{c: child, state: stateActive, total: totals[i], arrived: flows[i]}
+	}
+
+	// Swap the topology.
+	cl.topo.Lock()
+	delete(cl.comps, p)
+	for i, child := range children {
+		cl.comps[child.Path] = newComps[i]
+	}
+	cl.topo.Unlock()
+
+	// Kill the old component and forward its stored tokens: they re-enter
+	// at (p, wire) and findLive descends into the children.
+	cm.mu.Lock()
+	cm.state = stateDead
+	queue := cm.queue
+	cm.queue = nil
+	cm.mu.Unlock()
+	for _, q := range queue {
+		q.release <- retarget{path: p, wire: q.wire}
+	}
+	return nil
+}
+
+// Merge reforms the component at p from its children while traffic flows,
+// recursively merging children that are themselves split.
+func (cl *Cluster) Merge(p tree.Path) error {
+	cl.reconfig.Lock()
+	defer cl.reconfig.Unlock()
+	return cl.mergeLocked(p)
+}
+
+func (cl *Cluster) mergeLocked(p tree.Path) error {
+	cl.topo.RLock()
+	if cl.comps[p] != nil {
+		cl.topo.RUnlock()
+		return fmt.Errorf("dist: merge: %q is already live", p)
+	}
+	cl.topo.RUnlock()
+
+	parent, err := tree.ComponentAt(cl.w, p)
+	if err != nil {
+		return err
+	}
+	if parent.IsLeaf() {
+		return fmt.Errorf("dist: merge: %v has no children", parent)
+	}
+	children := parent.Children()
+
+	// Recursively merge children that are split further.
+	for _, child := range children {
+		cl.topo.RLock()
+		live := cl.comps[child.Path] != nil
+		cl.topo.RUnlock()
+		if !live {
+			if err := cl.mergeLocked(child.Path); err != nil {
+				return fmt.Errorf("dist: recursive merge of %v: %w", child, err)
+			}
+		}
+	}
+	cms := make([]*comp, len(children))
+	cl.topo.RLock()
+	for i, child := range children {
+		cms[i] = cl.comps[child.Path]
+	}
+	cl.topo.RUnlock()
+	for i, cm := range cms {
+		if cm == nil {
+			return fmt.Errorf("dist: merge: child %v missing", children[i])
+		}
+	}
+
+	// Phase 1: freeze the entry children; external arrivals are stored.
+	for _, cm := range cms[:2] {
+		cm.mu.Lock()
+		if cm.state != stateActive {
+			cm.mu.Unlock()
+			return fmt.Errorf("dist: merge: entry child %v is not active", cm.c)
+		}
+		cm.state = stateFrozen
+		cm.mu.Unlock()
+	}
+
+	// Phase 2: wait for internal in-flight tokens to drain, detected by
+	// the conservation invariant (all stages saw equally many tokens).
+	deg := len(cms)
+	for {
+		totals := make([]uint64, deg)
+		for i, cm := range cms {
+			cm.mu.Lock()
+			totals[i] = cm.total
+			cm.mu.Unlock()
+		}
+		if component.CheckConservation(parent, totals) == nil {
+			break
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+
+	// Phase 3: freeze the remaining (now idle) children and combine state.
+	for _, cm := range cms[2:] {
+		cm.mu.Lock()
+		cm.state = stateFrozen
+		cm.mu.Unlock()
+	}
+	totals := make([]uint64, deg)
+	arrived := make([]uint64, parent.Width)
+	for i, cm := range cms {
+		cm.mu.Lock()
+		totals[i] = cm.total
+		if i < 2 {
+			for wire, cnt := range cm.processedPerWireLocked() {
+				pin, ok := tree.InvChildInput(parent.Kind, parent.Width, i, wire)
+				if ok {
+					arrived[pin] += cnt
+				}
+			}
+		}
+		cm.mu.Unlock()
+	}
+	total, err := component.MergeTotal(parent, totals)
+	if err != nil {
+		return err
+	}
+	merged := &comp{c: parent, state: stateActive, total: total, arrived: arrived}
+
+	// Phase 4: swap the topology.
+	cl.topo.Lock()
+	for _, child := range children {
+		delete(cl.comps, child.Path)
+	}
+	cl.comps[p] = merged
+	cl.topo.Unlock()
+
+	// Phase 5: kill the children and forward stored tokens; they re-enter
+	// at (child, wire) and findLive ascends into the merged parent.
+	for _, cm := range cms {
+		cm.mu.Lock()
+		cm.state = stateDead
+		queue := cm.queue
+		cm.queue = nil
+		cm.mu.Unlock()
+		for _, q := range queue {
+			q.release <- retarget{path: cm.c.Path, wire: q.wire}
+		}
+	}
+	return nil
+}
+
+// EffectiveWidth computes Definition 1.1 for the cluster's current cut.
+func (cl *Cluster) EffectiveWidth() (int, error) {
+	d, err := cutnet.New(cl.w, cl.Cut())
+	if err != nil {
+		return 0, err
+	}
+	return d.EffectiveWidth()
+}
+
+// EffectiveDepth computes Definition 1.2 for the cluster's current cut.
+func (cl *Cluster) EffectiveDepth() (int, error) {
+	d, err := cutnet.New(cl.w, cl.Cut())
+	if err != nil {
+		return 0, err
+	}
+	return d.EffectiveDepth()
+}

@@ -1,0 +1,390 @@
+package dist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(8, tree.Cut{"0": true}); err == nil {
+		t.Fatal("incomplete cut accepted")
+	}
+	cl, err := NewRootOnly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Inject(-1); err == nil {
+		t.Fatal("negative wire accepted")
+	}
+	if _, err := cl.Inject(8); err == nil {
+		t.Fatal("out-of-range wire accepted")
+	}
+}
+
+func TestSequentialCounting(t *testing.T) {
+	cl, err := NewRootOnly(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40; i++ {
+		out, err := cl.Inject(rng.Intn(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != i%8 {
+			t.Fatalf("token %d exited %d, want %d", i, out, i%8)
+		}
+	}
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMergeErrors(t *testing.T) {
+	cl, err := NewRootOnly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Split("0"); err == nil {
+		t.Fatal("splitting a non-live path should fail")
+	}
+	if err := cl.Merge(""); err == nil {
+		t.Fatal("merging a live path should fail")
+	}
+	if err := cl.Split(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Split("0"); err == nil {
+		t.Fatal("splitting a leaf should fail")
+	}
+	if err := cl.Merge("0"); err == nil {
+		t.Fatal("merging a leaf path should fail")
+	}
+	if err := cl.Merge(""); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Size() != 1 {
+		t.Fatalf("size = %d, want 1", cl.Size())
+	}
+}
+
+// TestConcurrentTrafficNoReconfig: many concurrent injectors, quiescent
+// step property.
+func TestConcurrentTrafficNoReconfig(t *testing.T) {
+	w := 16
+	cl, err := New(w, tree.LeafCut(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				if _, err := cl.Inject(rng.Intn(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSplitUnderLoad: splitting while tokens flow never loses or
+// misorders tokens (quiescent step property + conservation).
+func TestSplitUnderLoad(t *testing.T) {
+	w := 16
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Inject(rng.Intn(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	// Split everything down to leaves while traffic flows.
+	rng := rand.New(rand.NewSource(42))
+	for {
+		var splittable []tree.Path
+		for p := range cl.Cut() {
+			c, err := tree.ComponentAt(w, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.IsLeaf() {
+				splittable = append(splittable, p)
+			}
+		}
+		if len(splittable) == 0 {
+			break
+		}
+		if err := cl.Split(splittable[rng.Intn(len(splittable))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cl.Size(), len(tree.LeafCut(w)); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+}
+
+// TestMergeUnderLoad: the freeze protocol merges a live network back to a
+// single component without losing tokens.
+func TestMergeUnderLoad(t *testing.T) {
+	w := 16
+	cl, err := New(w, tree.LeafCut(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Inject(rng.Intn(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	// One recursive merge of the root does it all.
+	if err := cl.Merge(""); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if cl.Size() != 1 {
+		t.Fatalf("size = %d, want 1", cl.Size())
+	}
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOscillationUnderLoad: repeated split/merge cycles with continuous
+// traffic.
+func TestOscillationUnderLoad(t *testing.T) {
+	w := 8
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Inject(rng.Intn(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := cl.Split(""); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Split("0"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Split("3"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Merge(""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialAcrossReconfig: with a single injector, the exact counter
+// sequence survives split and merge (the strongest behavioral check the
+// async engine admits).
+func TestSequentialAcrossReconfig(t *testing.T) {
+	w := 8
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	token := 0
+	step := func(k int) {
+		for j := 0; j < k; j++ {
+			out, err := cl.Inject(rng.Intn(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != token%w {
+				t.Fatalf("token %d exited %d, want %d", token, out, token%w)
+			}
+			token++
+		}
+	}
+	step(10)
+	if err := cl.Split(""); err != nil {
+		t.Fatal(err)
+	}
+	step(10)
+	if err := cl.Split("2"); err != nil {
+		t.Fatal(err)
+	}
+	step(10)
+	if err := cl.Merge("2"); err != nil {
+		t.Fatal(err)
+	}
+	step(10)
+	if err := cl.Merge(""); err != nil {
+		t.Fatal(err)
+	}
+	step(10)
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindLiveAscendAfterMerge: a token addressed to a merged-away child
+// resolves upward through the entry-child inverse to the merged parent.
+func TestFindLiveAscendAfterMerge(t *testing.T) {
+	w := 8
+	cl, err := New(w, tree.LeafCut(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Merge(""); err != nil {
+		t.Fatal(err)
+	}
+	// "00" was an entry child of "0", which was an entry child of the root.
+	cm, wire, err := cl.findLive("00", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.c.Path != "" {
+		t.Fatalf("resolved to %v, want the root", cm.c)
+	}
+	if wire != 1 {
+		t.Fatalf("wire = %d, want 1 (B8 input 1 feeds B4@0 input 1 feeds B2@00 input 1)", wire)
+	}
+	// A non-entry child has no upward wire mapping; such tokens can only
+	// exist while the assembly drains, so after the merge this is an error.
+	if _, _, err := cl.findLive("2", 0); err == nil {
+		t.Fatal("stranded non-entry delivery should error")
+	}
+}
+
+// TestFindLiveDescendsAfterSplit: a token addressed to a split-away parent
+// resolves downward through the input maps.
+func TestFindLiveDescendsAfterSplit(t *testing.T) {
+	w := 8
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Split(""); err != nil {
+		t.Fatal(err)
+	}
+	cm, wire, err := cl.findLive("", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input 5 of B8 feeds B4@1 input 1.
+	if cm.c.Path != "1" || wire != 1 {
+		t.Fatalf("resolved to %v wire %d, want B4@1 wire 1", cm.c, wire)
+	}
+}
+
+// TestArriveOnDeadComponent: delivery to a dead component is rejected so
+// the sender re-resolves.
+func TestArriveOnDeadComponent(t *testing.T) {
+	cm := &comp{c: tree.MustRoot(4), state: stateDead, arrived: make([]uint64, 4)}
+	if _, _, _, err := cm.arrive(0); err != errDead {
+		t.Fatalf("err = %v, want errDead", err)
+	}
+}
+
+// TestArriveOnFrozenComponentQueues: delivery to a frozen component is
+// stored and released with a retarget.
+func TestArriveOnFrozenComponentQueues(t *testing.T) {
+	cm := &comp{c: tree.MustRoot(4), state: stateFrozen, arrived: make([]uint64, 4)}
+	_, stored, release, err := cm.arrive(2)
+	if err != nil || !stored {
+		t.Fatalf("stored=%v err=%v", stored, err)
+	}
+	if cm.arrived[2] != 1 || len(cm.queue) != 1 {
+		t.Fatalf("arrival not recorded: %+v", cm)
+	}
+	go func() { cm.queue[0].release <- retarget{path: "1", wire: 3} }()
+	rt := <-release
+	if rt.path != "1" || rt.wire != 3 {
+		t.Fatalf("retarget = %+v", rt)
+	}
+}
+
+func TestClusterEffectiveWidthDepth(t *testing.T) {
+	cl, err := New(16, tree.LeafCut(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := cl.EffectiveWidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := cl.EffectiveDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ew != 8 || ed != 10 {
+		t.Fatalf("width/depth = %d/%d, want 8/10", ew, ed)
+	}
+}

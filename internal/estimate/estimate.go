@@ -1,0 +1,106 @@
+// Package estimate implements the paper's decentralized system-size and
+// level estimation (Section 3.1), in the style of Manku's size estimator.
+//
+// A node v estimates the system size N in two steps:
+//
+//  1. e_v = log2(1 / d(v, succ_1(v))), a coarse estimate of log N from the
+//     distance to the immediate successor;
+//  2. n_v = k / d(v, succ_k(v)) with k = Mult * ceil(e_v) (the paper uses
+//     Mult = 4), obtained by stepping through k nodes on the ring.
+//
+// Lemma 3.2 shows all n_v lie in [N/10, 10N] with high probability. From
+// n_v the node derives its level estimate l_v: the largest l with
+// phi(l) < n_v (clamped to the levels of T_w), which drives the split and
+// merge rules of Section 3.2.
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chord"
+	"repro/internal/tree"
+)
+
+// Params configures the estimator.
+type Params struct {
+	// Mult is the multiplier in k = Mult * ceil(e_v). The paper uses 4;
+	// the E19 ablation sweeps it.
+	Mult int
+}
+
+// DefaultParams returns the paper's parameters.
+func DefaultParams() Params { return Params{Mult: 4} }
+
+// Estimate is the result of one size estimation.
+type Estimate struct {
+	// LogEstimate is e_v, the first-step estimate of log2 N.
+	LogEstimate float64
+	// Size is n_v, the estimated system size.
+	Size float64
+	// Probes is the number of successor steps taken (the protocol cost).
+	Probes int
+	// Exact reports that the walk wrapped around the whole ring, in which
+	// case Size is the exact system size.
+	Exact bool
+}
+
+// SizeEstimate computes node v's local estimate of the system size.
+func SizeEstimate(r *chord.Ring, v chord.NodeID, p Params) (Estimate, error) {
+	if p.Mult <= 0 {
+		return Estimate{}, fmt.Errorf("estimate: multiplier %d must be positive", p.Mult)
+	}
+	n := r.Size()
+	if n == 0 {
+		return Estimate{}, fmt.Errorf("estimate: ring is empty")
+	}
+	if n == 1 {
+		return Estimate{LogEstimate: 0, Size: 1, Probes: 0, Exact: true}, nil
+	}
+	s1, err := r.SuccK(v, 1)
+	if err != nil {
+		return Estimate{}, err
+	}
+	d1 := r.Dist(v, s1)
+	ev := math.Log2(1 / d1)
+	if ev < 0 {
+		ev = 0
+	}
+	k := p.Mult * int(math.Ceil(ev))
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		// The walk would wrap: the node has seen the whole ring and knows
+		// N exactly. (The paper implicitly assumes k < N; this is the only
+		// sound completion for tiny systems.)
+		return Estimate{LogEstimate: ev, Size: float64(n), Probes: n, Exact: true}, nil
+	}
+	sk, err := r.SuccK(v, k)
+	if err != nil {
+		return Estimate{}, err
+	}
+	dk := r.Dist(v, sk)
+	return Estimate{LogEstimate: ev, Size: float64(k) / dk, Probes: k}, nil
+}
+
+// Level converts a size estimate into the node's level estimate l_v: the
+// largest l such that phi(l) < size, clamped to [0, MaxLevel(w)].
+func Level(size float64, w int) int {
+	max := tree.MaxLevel(w)
+	level := 0
+	for l := 1; l <= max; l++ {
+		if float64(tree.Phi(l)) < size {
+			level = l
+		} else {
+			break
+		}
+	}
+	return level
+}
+
+// IdealLevel is l*: the level the "best" implementation would use for true
+// system size n (the largest l with phi(l) < n), clamped to T_w's levels.
+func IdealLevel(n, w int) int {
+	return Level(float64(n), w)
+}

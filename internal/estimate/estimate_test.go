@@ -1,0 +1,215 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chord"
+	"repro/internal/tree"
+)
+
+func TestSizeEstimateValidation(t *testing.T) {
+	r := chord.NewRing(1)
+	r.JoinN(4)
+	v := r.Nodes()[0]
+	if _, err := SizeEstimate(r, v, Params{Mult: 0}); err == nil {
+		t.Fatal("zero multiplier accepted")
+	}
+	empty := chord.NewRing(2)
+	if _, err := SizeEstimate(empty, v, DefaultParams()); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+}
+
+func TestSingleNodeExact(t *testing.T) {
+	r := chord.NewRing(3)
+	v := r.Join()
+	est, err := SizeEstimate(r, v, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Exact || est.Size != 1 {
+		t.Fatalf("single-node estimate = %+v, want exact 1", est)
+	}
+}
+
+func TestTinyRingWrapsToExact(t *testing.T) {
+	r := chord.NewRing(4)
+	r.JoinN(3)
+	for _, v := range r.Nodes() {
+		est, err := SizeEstimate(r, v, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With 3 nodes, k = 4*ceil(e_v) >= 4 > N, so the walk wraps and the
+		// estimate is exact.
+		if !est.Exact || est.Size != 3 {
+			t.Fatalf("estimate = %+v, want exact 3", est)
+		}
+	}
+}
+
+// TestLemma32AllEstimatesWithinFactor10 is the empirical check of
+// Lemma 3.2: with high probability every node's estimate lies in
+// [N/10, 10N]. The seeds are fixed, so this is deterministic.
+func TestLemma32AllEstimatesWithinFactor10(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		for seed := int64(0); seed < 3; seed++ {
+			r := chord.NewRing(seed*1000 + int64(n))
+			r.JoinN(n)
+			for _, v := range r.Nodes() {
+				est, err := SizeEstimate(r, v, DefaultParams())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if est.Size < float64(n)/10 || est.Size > 10*float64(n) {
+					t.Errorf("N=%d seed=%d node %d: estimate %.1f outside [N/10, 10N]",
+						n, seed, v, est.Size)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma31LogEstimate checks the first-step bound of Lemma 3.1:
+// e_v > log2(N)/2 for every node (with high probability).
+func TestLemma31LogEstimate(t *testing.T) {
+	for _, n := range []int{256, 1024} {
+		r := chord.NewRing(int64(n))
+		r.JoinN(n)
+		bound := math.Log2(float64(n)) / 2
+		for _, v := range r.Nodes() {
+			est, err := SizeEstimate(r, v, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.LogEstimate <= bound {
+				t.Errorf("N=%d node %d: e_v = %.2f <= log(N)/2 = %.2f", n, v, est.LogEstimate, bound)
+			}
+		}
+	}
+}
+
+func TestProbesAreManku(t *testing.T) {
+	// Probes should be Theta(log N): k = 4*ceil(e_v).
+	n := 1024
+	r := chord.NewRing(77)
+	r.JoinN(n)
+	for _, v := range r.Nodes()[:50] {
+		est, err := SizeEstimate(r, v, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Exact {
+			continue
+		}
+		want := 4 * int(math.Ceil(est.LogEstimate))
+		if est.Probes != want {
+			t.Fatalf("probes = %d, want %d", est.Probes, want)
+		}
+		if est.Probes > 40*int(math.Log2(float64(n))) {
+			t.Fatalf("probes = %d not O(log N)", est.Probes)
+		}
+	}
+}
+
+func TestLevelKnownValues(t *testing.T) {
+	w := 1 << 10 // MaxLevel = 9
+	tests := []struct {
+		size float64
+		want int
+	}{
+		{0, 0},
+		{1, 0},   // phi(0)=1 is not < 1
+		{1.5, 0}, // phi(1)=6 not < 1.5
+		{6, 0},
+		{6.5, 1},
+		{7, 1},
+		{24.5, 2},
+		{1e18, tree.MaxLevel(w)}, // clamped
+	}
+	for _, tt := range tests {
+		if got := Level(tt.size, w); got != tt.want {
+			t.Errorf("Level(%v) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestLevelClampsToSmallWidth(t *testing.T) {
+	if got := Level(1e9, 4); got != tree.MaxLevel(4) {
+		t.Fatalf("Level clamp = %d, want %d", got, tree.MaxLevel(4))
+	}
+}
+
+func TestIdealLevelMonotone(t *testing.T) {
+	w := 1 << 12
+	prev := 0
+	for n := 1; n <= 1<<14; n *= 2 {
+		l := IdealLevel(n, w)
+		if l < prev {
+			t.Fatalf("IdealLevel not monotone at n=%d: %d < %d", n, l, prev)
+		}
+		prev = l
+	}
+	if prev == 0 {
+		t.Fatal("IdealLevel never grew")
+	}
+}
+
+// TestLevelEstimatesWithinFour is the empirical Lemma 3.3: all level
+// estimates lie within [l*-4, l*+4].
+func TestLevelEstimatesWithinFour(t *testing.T) {
+	w := 1 << 16
+	for _, n := range []int{64, 512, 4096} {
+		r := chord.NewRing(int64(n) * 7)
+		r.JoinN(n)
+		lstar := IdealLevel(n, w)
+		for _, v := range r.Nodes() {
+			est, err := SizeEstimate(r, v, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv := Level(est.Size, w)
+			if lv < lstar-4 || lv > lstar+4 {
+				t.Errorf("N=%d node %d: l_v = %d outside l* +- 4 (l* = %d)", n, v, lv, lstar)
+			}
+		}
+	}
+}
+
+// TestQuickLevelMonotone (testing/quick): Level is monotone in the size
+// estimate and always within T_w's levels.
+func TestQuickLevelMonotone(t *testing.T) {
+	w := 1 << 12
+	f := func(a, b uint32) bool {
+		x, y := float64(a%1_000_000), float64(b%1_000_000)
+		if x > y {
+			x, y = y, x
+		}
+		lx, ly := Level(x, w), Level(y, w)
+		return lx <= ly && lx >= 0 && ly <= tree.MaxLevel(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEstimatePositive: estimates are always positive and finite for
+// any ring the generator produces.
+func TestQuickEstimatePositive(t *testing.T) {
+	f := func(seed int64, nb uint8) bool {
+		n := int(nb)%200 + 1
+		r := chord.NewRing(seed)
+		r.JoinN(n)
+		v := r.Nodes()[0]
+		est, err := SizeEstimate(r, v, DefaultParams())
+		if err != nil {
+			return false
+		}
+		return est.Size >= 1 && !math.IsInf(est.Size, 0) && !math.IsNaN(est.Size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

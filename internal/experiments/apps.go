@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bitonic"
+	"repro/internal/chord"
+	"repro/internal/cutnet"
+	"repro/internal/dist"
+	"repro/internal/match"
+	"repro/internal/tree"
+)
+
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// E16Matching (Section 1.1): producer-consumer matching with two
+// back-to-back counting networks pairs every request with exactly one
+// supply.
+func E16Matching(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Producer-consumer matching",
+		Claim:   "each request matched with exactly one supply, and vice versa (Section 1.1)",
+		Headers: []string{"scenario", "producers", "consumers", "matched", "left pending", "bijective"},
+	}
+	pairs := 2000
+	if opts.Quick {
+		pairs = 200
+	}
+
+	// Balanced concurrent load.
+	m, err := match.New[int, int](16, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		prodGot = make(map[int]int, pairs)
+		consGot = make(map[int]int, pairs)
+	)
+	for i := 0; i < pairs; i++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			ch, err := m.Produce(id)
+			if err != nil {
+				return
+			}
+			req := <-ch
+			mu.Lock()
+			prodGot[id] = req
+			mu.Unlock()
+		}(i)
+		go func(id int) {
+			defer wg.Done()
+			ch, err := m.Consume(id)
+			if err != nil {
+				return
+			}
+			item := <-ch
+			mu.Lock()
+			consGot[id] = item
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	bijective := len(prodGot) == pairs && len(consGot) == pairs
+	seen := make(map[int]bool, pairs)
+	for cons, item := range consGot {
+		if seen[item] || prodGot[item] != cons {
+			bijective = false
+		}
+		seen[item] = true
+	}
+	t.AddRow("balanced concurrent", pairs, pairs, len(consGot), m.Pending(), bijective)
+
+	// Oversupplied: surplus producers park.
+	m2, err := match.New[int, int](8, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	prod, cons := 60, 40
+	if opts.Quick {
+		prod, cons = 12, 8
+	}
+	for i := 0; i < prod; i++ {
+		if _, err := m2.Produce(i); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cons; i++ {
+		if _, err := m2.Consume(i); err != nil {
+			return nil, err
+		}
+	}
+	t.AddRow("oversupplied", prod, cons, cons, m2.Pending(), m2.Pending() == prod-cons)
+	return t, nil
+}
+
+// E20Throughput: single-machine wall-clock micro-comparison of the token
+// engines (related-work positioning). Absolute numbers are host-specific;
+// the shape of interest is the cost ordering and the serialization of the
+// centralized counter versus the per-component locking of the networks.
+func E20Throughput(opts Options) (*Table, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Throughput micro-benchmark (single machine)",
+		Claim:   "component networks admit concurrent token traffic; the central counter serializes",
+		Headers: []string{"engine", "workers", "tokens", "tokens/ms", "ns/token"},
+	}
+	w := 64
+	tokens := 200000
+	if opts.Quick {
+		tokens = 20000
+	}
+	workers := 4
+
+	run := func(name string, fn func(rng *rand.Rand)) {
+		per := tokens / workers
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := newRand(seed)
+				for i := 0; i < per; i++ {
+					fn(rng)
+				}
+			}(opts.Seed + int64(g))
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		total := per * workers
+		t.AddRow(name, workers, total,
+			float64(total)/float64(elapsed.Milliseconds()+1),
+			float64(elapsed.Nanoseconds())/float64(total))
+	}
+
+	// Adaptive cut network at a mid cut.
+	cut, err := tree.UniformCut(w, 2)
+	if err != nil {
+		return nil, err
+	}
+	cn, err := cutnet.New(w, cut)
+	if err != nil {
+		return nil, err
+	}
+	run("cutnet (uniform level-2 cut)", func(rng *rand.Rand) { _, _ = cn.Inject(rng.Intn(w)) })
+
+	leaf, err := cutnet.New(w, tree.LeafCut(w))
+	if err != nil {
+		return nil, err
+	}
+	run("cutnet (fully expanded)", func(rng *rand.Rand) { _, _ = leaf.Inject(rng.Intn(w)) })
+
+	lvl1, err := tree.UniformCut(w, 1)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := dist.New(w, lvl1)
+	if err != nil {
+		return nil, err
+	}
+	run("async cluster (level-1 cut)", func(rng *rand.Rand) { _, _ = cl.Inject(rng.Intn(w)) })
+
+	bn, err := bitonic.New(w)
+	if err != nil {
+		return nil, err
+	}
+	run("classic bitonic balancers", func(rng *rand.Rand) { bn.Traverse(rng.Intn(w)) })
+
+	pn, err := bitonic.NewPeriodic(w)
+	if err != nil {
+		return nil, err
+	}
+	run("classic periodic balancers", func(rng *rand.Rand) { pn.Traverse(rng.Intn(w)) })
+
+	dt, err := baseline.NewDiffractingTree(5)
+	if err != nil {
+		return nil, err
+	}
+	run("diffracting tree (depth 5)", func(rng *rand.Rand) { dt.Next() })
+
+	ring := chord.NewRing(opts.Seed)
+	ring.JoinN(16)
+	central, err := baseline.NewCentral(ring, "ctr")
+	if err != nil {
+		return nil, err
+	}
+	run("central counter", func(rng *rand.Rand) { central.Next() })
+
+	t.Note("wall-clock on this host; the paper makes no absolute performance claims")
+	return t, nil
+}

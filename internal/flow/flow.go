@@ -1,0 +1,121 @@
+// Package flow implements Dinic's maximum-flow algorithm with optional
+// per-vertex capacities. The adaptive counting network uses it to compute
+// the effective width of a network: the maximum number of vertex-disjoint
+// paths from the input layer to the output layer of the component DAG
+// (Definition 1.1 in the paper).
+package flow
+
+// Inf is an effectively-infinite edge capacity.
+const Inf = int(1) << 40
+
+type edge struct {
+	to, rev int
+	cap     int
+}
+
+// Graph is a flow network on vertices 0..n-1.
+type Graph struct {
+	adj [][]edge
+	// scratch buffers for Dinic
+	level []int
+	iter  []int
+}
+
+// NewGraph creates a flow network with n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// AddEdge adds a directed edge from u to v with capacity c.
+func (g *Graph) AddEdge(u, v, c int) {
+	g.adj[u] = append(g.adj[u], edge{to: v, rev: len(g.adj[v]), cap: c})
+	g.adj[v] = append(g.adj[v], edge{to: u, rev: len(g.adj[u]) - 1, cap: 0})
+}
+
+// MaxFlow computes the maximum flow from s to t. The graph is consumed:
+// capacities reflect the residual network afterwards.
+func (g *Graph) MaxFlow(s, t int) int {
+	n := len(g.adj)
+	g.level = make([]int, n)
+	g.iter = make([]int, n)
+	total := 0
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int, 0, len(g.adj))
+	queue = append(queue, s)
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(u, t, f int) int {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap <= 0 || g.level[e.to] != g.level[u]+1 {
+			continue
+		}
+		d := f
+		if e.cap < d {
+			d = e.cap
+		}
+		got := g.dfs(e.to, t, d)
+		if got > 0 {
+			e.cap -= got
+			g.adj[e.to][e.rev].cap += got
+			return got
+		}
+	}
+	return 0
+}
+
+// VertexDisjointPaths computes the maximum number of vertex-disjoint paths
+// from any vertex in sources to any vertex in sinks in the DAG described by
+// edges (pairs of vertex indices in 0..n-1). Each vertex may appear on at
+// most one path; source and sink vertices are likewise used at most once.
+func VertexDisjointPaths(n int, edges [][2]int, sources, sinks []int) int {
+	// Split each vertex v into v_in = 2v and v_out = 2v+1 with capacity 1.
+	g := NewGraph(2*n + 2)
+	s, t := 2*n, 2*n+1
+	for v := 0; v < n; v++ {
+		g.AddEdge(2*v, 2*v+1, 1)
+	}
+	for _, e := range edges {
+		g.AddEdge(2*e[0]+1, 2*e[1], Inf)
+	}
+	for _, v := range sources {
+		g.AddEdge(s, 2*v, 1)
+	}
+	for _, v := range sinks {
+		g.AddEdge(2*v+1, t, 1)
+	}
+	return g.MaxFlow(s, t)
+}

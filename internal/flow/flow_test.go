@@ -1,0 +1,125 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMaxFlowSimple(t *testing.T) {
+	// s=0 -> 1 -> t=2 with caps 3, 2: flow = 2.
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 2, 2)
+	if got := g.MaxFlow(0, 2); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowParallelPaths(t *testing.T) {
+	// Two disjoint unit paths s->a->t, s->b->t.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	if got := g.MaxFlow(0, 3); got != 2 {
+		t.Fatalf("flow = %d, want 2", got)
+	}
+}
+
+func TestMaxFlowClassic(t *testing.T) {
+	// Classic 6-node example with max flow 23.
+	g := NewGraph(6)
+	type e struct{ u, v, c int }
+	for _, x := range []e{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4},
+		{1, 3, 12}, {3, 2, 9}, {2, 4, 14}, {4, 3, 7},
+		{3, 5, 20}, {4, 5, 4},
+	} {
+		g.AddEdge(x.u, x.v, x.c)
+	}
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("flow = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := NewGraph(2)
+	if got := g.MaxFlow(0, 1); got != 0 {
+		t.Fatalf("flow = %d, want 0", got)
+	}
+}
+
+func TestVertexDisjointPathsChain(t *testing.T) {
+	// 0 -> 1 -> 2: a single path.
+	got := VertexDisjointPaths(3, [][2]int{{0, 1}, {1, 2}}, []int{0}, []int{2})
+	if got != 1 {
+		t.Fatalf("paths = %d, want 1", got)
+	}
+}
+
+func TestVertexDisjointPathsSharedVertex(t *testing.T) {
+	// Two sources and two sinks, but everything funnels through vertex 2.
+	edges := [][2]int{{0, 2}, {1, 2}, {2, 3}, {2, 4}}
+	got := VertexDisjointPaths(5, edges, []int{0, 1}, []int{3, 4})
+	if got != 1 {
+		t.Fatalf("paths = %d, want 1 (bottleneck vertex)", got)
+	}
+}
+
+func TestVertexDisjointPathsParallel(t *testing.T) {
+	// Two fully disjoint chains.
+	edges := [][2]int{{0, 2}, {2, 4}, {1, 3}, {3, 5}}
+	got := VertexDisjointPaths(6, edges, []int{0, 1}, []int{4, 5})
+	if got != 2 {
+		t.Fatalf("paths = %d, want 2", got)
+	}
+}
+
+func TestVertexDisjointSourceIsSink(t *testing.T) {
+	// A vertex that is both source and sink forms a length-1 path.
+	got := VertexDisjointPaths(1, nil, []int{0}, []int{0})
+	if got != 1 {
+		t.Fatalf("paths = %d, want 1", got)
+	}
+}
+
+func TestVertexDisjointGrid(t *testing.T) {
+	// Complete bipartite K_{3,3} from 3 sources to 3 sinks: 3 disjoint paths.
+	var edges [][2]int
+	for s := 0; s < 3; s++ {
+		for d := 3; d < 6; d++ {
+			edges = append(edges, [2]int{s, d})
+		}
+	}
+	got := VertexDisjointPaths(6, edges, []int{0, 1, 2}, []int{3, 4, 5})
+	if got != 3 {
+		t.Fatalf("paths = %d, want 3", got)
+	}
+}
+
+// TestVertexDisjointRandomMonotone checks that adding edges never decreases
+// the number of vertex-disjoint paths (the property behind Lemma 2.3's
+// "splitting cannot decrease effective width" argument).
+func TestVertexDisjointRandomMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(8)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		sources := []int{0, 1}
+		sinks := []int{n - 2, n - 1}
+		base := VertexDisjointPaths(n, edges, sources, sinks)
+		more := append(append([][2]int{}, edges...), [2]int{0, n - 1})
+		grown := VertexDisjointPaths(n, more, sources, sinks)
+		if grown < base {
+			t.Fatalf("adding an edge decreased disjoint paths: %d -> %d", base, grown)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package match implements the producer–consumer matching application of
+// Section 1.1: two back-to-back counting networks, one for producers'
+// supply tokens and one for consumers' request tokens. A supply token that
+// exits wire j as the m-th token on that wire is matched with the request
+// token that exits wire j as the m-th token on that wire — the step
+// property of both networks guarantees every request is matched with
+// exactly one supply (when supply is available) and vice versa.
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cutnet"
+	"repro/internal/tree"
+)
+
+// slotKey identifies a rendezvous slot: the m-th token on output wire j.
+type slotKey struct {
+	wire int
+	seq  int64
+}
+
+// Matcher pairs produced items of type P with consumer requests of type C.
+type Matcher[P, C any] struct {
+	prod *cutnet.Net
+	cons *cutnet.Net
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	slots map[slotKey]*slot[P, C]
+}
+
+// slot is one rendezvous point; exactly one side parks first.
+type slot[P, C any] struct {
+	hasP bool
+	p    P
+	pch  chan C // fulfilled producer receives the consumer's request
+	hasC bool
+	c    C
+	cch  chan P // fulfilled consumer receives the produced item
+}
+
+// New creates a matcher of width w (a power of two >= 2).
+func New[P, C any](w int, seed int64) (*Matcher[P, C], error) {
+	if _, err := tree.Root(w); err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	prod, err := cutnet.New(w, tree.LeafCut(w))
+	if err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	cons, err := cutnet.New(w, tree.LeafCut(w))
+	if err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	return &Matcher[P, C]{
+		prod:  prod,
+		cons:  cons,
+		rng:   rand.New(rand.NewSource(seed)),
+		slots: make(map[slotKey]*slot[P, C]),
+	}, nil
+}
+
+// Produce offers an item. The returned channel yields the matched
+// consumer's request exactly once.
+func (m *Matcher[P, C]) Produce(item P) (<-chan C, error) {
+	// The injection and the sequence-number read must be atomic so that
+	// two tokens exiting the same wire get distinct slots.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wire, err := m.prod.Inject(m.rng.Intn(m.prod.Width()))
+	if err != nil {
+		return nil, err
+	}
+	key := slotKey{wire: wire, seq: m.prodSeq(wire)}
+	s := m.slots[key]
+	if s == nil {
+		s = &slot[P, C]{}
+		m.slots[key] = s
+	}
+	if s.hasP {
+		return nil, fmt.Errorf("match: slot %+v already has a producer", key)
+	}
+	s.hasP, s.p = true, item
+	s.pch = make(chan C, 1)
+	m.tryFulfill(key, s)
+	return s.pch, nil
+}
+
+// Consume submits a request. The returned channel yields the matched item
+// exactly once.
+func (m *Matcher[P, C]) Consume(req C) (<-chan P, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wire, err := m.cons.Inject(m.rng.Intn(m.cons.Width()))
+	if err != nil {
+		return nil, err
+	}
+	key := slotKey{wire: wire, seq: m.consSeq(wire)}
+	s := m.slots[key]
+	if s == nil {
+		s = &slot[P, C]{}
+		m.slots[key] = s
+	}
+	if s.hasC {
+		return nil, fmt.Errorf("match: slot %+v already has a consumer", key)
+	}
+	s.hasC, s.c = true, req
+	s.cch = make(chan P, 1)
+	m.tryFulfill(key, s)
+	return s.cch, nil
+}
+
+// tryFulfill completes a slot once both sides have arrived. Caller holds
+// the lock.
+func (m *Matcher[P, C]) tryFulfill(key slotKey, s *slot[P, C]) {
+	if !s.hasP || !s.hasC {
+		return
+	}
+	s.pch <- s.c
+	s.cch <- s.p
+	delete(m.slots, key)
+}
+
+// prodSeq returns the sequence index of the token that just exited the
+// producer network on the given wire (the count of tokens on that wire
+// minus one). Caller holds the lock.
+func (m *Matcher[P, C]) prodSeq(wire int) int64 {
+	return m.prod.OutCounts()[wire] - 1
+}
+
+func (m *Matcher[P, C]) consSeq(wire int) int64 {
+	return m.cons.OutCounts()[wire] - 1
+}
+
+// Pending returns the number of unmatched tokens currently parked.
+func (m *Matcher[P, C]) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slots)
+}

@@ -1,0 +1,156 @@
+package match
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New[int, int](3, 1); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+}
+
+func TestSimpleMatch(t *testing.T) {
+	m, err := New[string, string](4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pch, err := m.Produce("item-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", m.Pending())
+	}
+	cch, err := m.Consume("req-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-pch; got != "req-1" {
+		t.Fatalf("producer matched %q, want req-1", got)
+	}
+	if got := <-cch; got != "item-A" {
+		t.Fatalf("consumer matched %q, want item-A", got)
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", m.Pending())
+	}
+}
+
+func TestConsumerFirst(t *testing.T) {
+	m, err := New[int, int](4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cch, err := m.Consume(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Produce(42); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-cch; got != 42 {
+		t.Fatalf("consumer got %d, want 42", got)
+	}
+}
+
+// TestEveryRequestMatchedExactlyOnce is the Section 1.1 guarantee: n
+// producers and n consumers, arbitrary interleaving, a perfect matching.
+func TestEveryRequestMatchedExactlyOnce(t *testing.T) {
+	m, err := New[int, int](8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		gotByCons = make(map[int]int) // consumer id -> item
+		gotByProd = make(map[int]int) // producer id -> request
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			ch, err := m.Produce(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req := <-ch
+			mu.Lock()
+			gotByProd[id] = req
+			mu.Unlock()
+		}(i)
+		go func(id int) {
+			defer wg.Done()
+			ch, err := m.Consume(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			item := <-ch
+			mu.Lock()
+			gotByCons[id] = item
+			mu.Unlock()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("matching deadlocked")
+	}
+	if m.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", m.Pending())
+	}
+	if len(gotByCons) != n || len(gotByProd) != n {
+		t.Fatalf("matched %d consumers, %d producers, want %d each", len(gotByCons), len(gotByProd), n)
+	}
+	// The matching is a bijection and mutually consistent.
+	seenItems := make(map[int]bool, n)
+	for consID, item := range gotByCons {
+		if seenItems[item] {
+			t.Fatalf("item %d delivered to two consumers", item)
+		}
+		seenItems[item] = true
+		if gotByProd[item] != consID {
+			t.Fatalf("producer %d matched consumer %d, but consumer %d got item %d",
+				item, gotByProd[item], consID, item)
+		}
+	}
+}
+
+// TestExcessDemandParks: with more consumers than producers, exactly the
+// surplus remains pending.
+func TestExcessDemandParks(t *testing.T) {
+	m, err := New[int, int](4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := m.Consume(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := m.Produce(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", m.Pending())
+	}
+}
+
+func ExampleMatcher() {
+	m, _ := New[string, string](4, 9)
+	cch, _ := m.Consume("need one CPU slot")
+	_, _ = m.Produce("CPU slot #1")
+	fmt.Println(<-cch)
+	// Output: CPU slot #1
+}

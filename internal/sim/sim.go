@@ -1,0 +1,263 @@
+// Package sim is a discrete-event simulator for the counting network:
+// overlay nodes are single-server FIFO queues, inter-component wires have
+// link latency, and tokens are events flowing through the current cut.
+//
+// The paper argues latency through effective depth and throughput through
+// effective width; this simulator turns those structural quantities into
+// time, so the E23 experiment can show the saturation behavior they imply:
+// a single-component (centralized) network saturates at one node's service
+// rate, while the adaptive network's capacity grows with the system size.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chord"
+	"repro/internal/component"
+	"repro/internal/tree"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Width is the network width w.
+	Width int
+	// Cut is the cut to instantiate (defaults to the root-only cut).
+	Cut tree.Cut
+	// Nodes is the number of overlay nodes components are hashed onto.
+	Nodes int
+	// ServiceTime is the time a node takes to process one token at one
+	// component (arbitrary time units).
+	ServiceTime float64
+	// LinkDelay is the one-way latency of a component-to-component wire.
+	LinkDelay float64
+	// ArrivalRate is the Poisson token arrival rate (tokens per time unit).
+	ArrivalRate float64
+	// Tokens is the number of tokens to inject.
+	Tokens int
+	// Seed drives arrivals and input-wire choices.
+	Seed int64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Completed   int
+	Makespan    float64 // time of the last completion
+	Throughput  float64 // completed / makespan
+	LatencyMean float64 // token injection-to-exit latency
+	LatencyP50  float64
+	LatencyP99  float64
+	MaxNodeBusy float64 // utilization of the busiest node (busy time / makespan)
+	Out         []int64 // per-output-wire emissions
+}
+
+// event is a scheduled simulator action.
+type event struct {
+	at  float64
+	seq int // tie-breaker for determinism
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// token is an in-flight token.
+type token struct {
+	id    int
+	start float64
+}
+
+// nodeState is a single-server FIFO queue.
+type nodeState struct {
+	busyUntil float64
+	busyTotal float64
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	cfg   Config
+	rng   *rand.Rand
+	queue eventQueue
+	seq   int
+	now   float64
+
+	comps map[tree.Path]*component.State
+	host  map[tree.Path]int
+	nodes []nodeState
+
+	out       []int64
+	latencies []float64
+	completed int
+	lastDone  float64
+}
+
+// New builds a simulation.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Cut == nil {
+		cfg.Cut = tree.RootCut()
+	}
+	if err := cfg.Cut.Validate(cfg.Width); err != nil {
+		return nil, err
+	}
+	if cfg.Nodes < 1 || cfg.ServiceTime <= 0 || cfg.ArrivalRate <= 0 || cfg.Tokens < 1 {
+		return nil, fmt.Errorf("sim: need Nodes>=1, ServiceTime>0, ArrivalRate>0, Tokens>=1")
+	}
+	s := &Sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		comps: make(map[tree.Path]*component.State),
+		host:  make(map[tree.Path]int),
+		nodes: make([]nodeState, cfg.Nodes),
+		out:   make([]int64, cfg.Width),
+	}
+	comps, err := cfg.Cut.Components(cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range comps {
+		s.comps[c.Path] = component.New(c)
+		s.host[c.Path] = int(uint64(chord.Hash(c.Name())) % uint64(cfg.Nodes))
+	}
+	return s, nil
+}
+
+// Run injects cfg.Tokens tokens with Poisson arrivals and runs to
+// completion.
+func (s *Sim) Run() (Result, error) {
+	at := 0.0
+	for i := 0; i < s.cfg.Tokens; i++ {
+		at += s.rng.ExpFloat64() / s.cfg.ArrivalRate
+		tok := &token{id: i, start: at}
+		in := s.rng.Intn(s.cfg.Width)
+		s.schedule(at, func() { s.arriveAtEntry(tok, in) })
+	}
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	return s.result()
+}
+
+func (s *Sim) schedule(at float64, fn func()) {
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// arriveAtEntry routes a new token to the input component covering wire in.
+func (s *Sim) arriveAtEntry(tok *token, in int) {
+	cur := tree.MustRoot(s.cfg.Width)
+	wire := in
+	for s.comps[cur.Path] == nil {
+		ci, cin := tree.ChildInput(cur.Kind, cur.Width, wire)
+		child, err := cur.Child(ci)
+		if err != nil {
+			return
+		}
+		cur, wire = child, cin
+	}
+	s.arriveAtComp(tok, cur)
+}
+
+// arriveAtComp queues the token at the component's host node.
+func (s *Sim) arriveAtComp(tok *token, comp tree.Component) {
+	node := &s.nodes[s.host[comp.Path]]
+	start := s.now
+	if node.busyUntil > start {
+		start = node.busyUntil
+	}
+	done := start + s.cfg.ServiceTime
+	node.busyUntil = done
+	node.busyTotal += s.cfg.ServiceTime
+	s.schedule(done, func() { s.processAt(tok, comp) })
+}
+
+// processAt performs the component step and forwards or completes the
+// token.
+func (s *Sim) processAt(tok *token, comp tree.Component) {
+	o := s.comps[comp.Path].Step()
+	node, wire := comp, o
+	for {
+		parent, idx, ok := node.Parent(s.cfg.Width)
+		if !ok {
+			s.out[wire]++
+			s.completed++
+			s.latencies = append(s.latencies, s.now-tok.start)
+			if s.now > s.lastDone {
+				s.lastDone = s.now
+			}
+			return
+		}
+		d := tree.ChildNext(parent.Kind, parent.Width, idx, wire)
+		if !d.ToChild {
+			node, wire = parent, d.ParentOut
+			continue
+		}
+		target, err := parent.Child(d.Child)
+		if err != nil {
+			return
+		}
+		wire = d.ChildIn
+		for s.comps[target.Path] == nil {
+			ci, cin := tree.ChildInput(target.Kind, target.Width, wire)
+			target, err = target.Child(ci)
+			if err != nil {
+				return
+			}
+			wire = cin
+		}
+		next := target
+		s.schedule(s.now+s.cfg.LinkDelay, func() { s.arriveAtComp(tok, next) })
+		return
+	}
+}
+
+func (s *Sim) result() (Result, error) {
+	if s.completed != s.cfg.Tokens {
+		return Result{}, fmt.Errorf("sim: completed %d of %d tokens", s.completed, s.cfg.Tokens)
+	}
+	sorted := make([]float64, len(s.latencies))
+	copy(sorted, s.latencies)
+	sort.Float64s(sorted)
+	mean := 0.0
+	for _, l := range sorted {
+		mean += l
+	}
+	mean /= float64(len(sorted))
+	maxBusy := 0.0
+	for _, n := range s.nodes {
+		if u := n.busyTotal / s.lastDone; u > maxBusy {
+			maxBusy = u
+		}
+	}
+	out := make([]int64, len(s.out))
+	copy(out, s.out)
+	return Result{
+		Completed:   s.completed,
+		Makespan:    s.lastDone,
+		Throughput:  float64(s.completed) / s.lastDone,
+		LatencyMean: mean,
+		LatencyP50:  sorted[len(sorted)/2],
+		LatencyP99:  sorted[(len(sorted)*99)/100],
+		MaxNodeBusy: maxBusy,
+		Out:         out,
+	}, nil
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/balancer"
+	"repro/internal/tree"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Width: 8, Nodes: 0, ServiceTime: 1, ArrivalRate: 1, Tokens: 1}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := New(Config{Width: 8, Nodes: 1, ServiceTime: 0, ArrivalRate: 1, Tokens: 1}); err == nil {
+		t.Fatal("zero service time accepted")
+	}
+	if _, err := New(Config{Width: 8, Cut: tree.Cut{"0": true}, Nodes: 1, ServiceTime: 1, ArrivalRate: 1, Tokens: 1}); err == nil {
+		t.Fatal("invalid cut accepted")
+	}
+}
+
+func TestAllTokensCompleteAndCount(t *testing.T) {
+	cut, err := tree.UniformCut(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Width: 16, Cut: cut, Nodes: 8,
+		ServiceTime: 1, LinkDelay: 0.5, ArrivalRate: 0.8, Tokens: 500, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 500 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if !balancer.Seq(res.Out).HasStep() {
+		t.Fatalf("asynchronous execution broke the step property: %v", res.Out)
+	}
+	if res.LatencyP50 > res.LatencyP99 || res.LatencyMean <= 0 {
+		t.Fatalf("latency stats inconsistent: %+v", res)
+	}
+}
+
+// TestCentralSaturates: a single node serving the whole network cannot
+// exceed 1/ServiceTime throughput no matter the offered load.
+func TestCentralSaturates(t *testing.T) {
+	s, err := New(Config{
+		Width: 64, Nodes: 1,
+		ServiceTime: 1, LinkDelay: 0.1, ArrivalRate: 10, Tokens: 2000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput > 1.01 {
+		t.Fatalf("central throughput %.3f exceeds the service rate", res.Throughput)
+	}
+	if res.MaxNodeBusy < 0.95 {
+		t.Fatalf("central node utilization %.3f, expected saturation", res.MaxNodeBusy)
+	}
+}
+
+// TestParallelCutOutperformsCentral: the same offered load over a split
+// cut on many nodes completes sooner.
+func TestParallelCutOutperformsCentral(t *testing.T) {
+	run := func(cut tree.Cut, nodes int) Result {
+		t.Helper()
+		s, err := New(Config{
+			Width: 64, Cut: cut, Nodes: nodes,
+			ServiceTime: 1, LinkDelay: 0.1, ArrivalRate: 1.2, Tokens: 2000, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	central := run(tree.RootCut(), 1)
+	cut, err := tree.UniformCut(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := run(cut, 128)
+	// The central counter is capped at 1/ServiceTime = 1; the offered load
+	// of 1.2 is sustainable only with parallelism.
+	if central.Throughput > 1.01 {
+		t.Fatalf("central exceeded its service rate: %.3f", central.Throughput)
+	}
+	if parallel.Throughput < 1.1*central.Throughput {
+		t.Fatalf("parallel throughput %.3f not clearly above central %.3f",
+			parallel.Throughput, central.Throughput)
+	}
+}
+
+// TestDeeperCutHigherLatencyAtLowLoad: at negligible load, latency is
+// depth * (service + link), so deeper cuts cost more per token.
+func TestDeeperCutHigherLatencyAtLowLoad(t *testing.T) {
+	run := func(cut tree.Cut) Result {
+		t.Helper()
+		s, err := New(Config{
+			Width: 64, Cut: cut, Nodes: 64,
+			ServiceTime: 1, LinkDelay: 1, ArrivalRate: 0.01, Tokens: 200, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	shallow := run(tree.RootCut())
+	cut, err := tree.UniformCut(64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := run(cut)
+	if deep.LatencyMean <= shallow.LatencyMean {
+		t.Fatalf("deep cut latency %.2f not above shallow %.2f",
+			deep.LatencyMean, shallow.LatencyMean)
+	}
+	// Shallow = one service, no links: exactly ServiceTime at idle.
+	if shallow.LatencyP50 < 1 || shallow.LatencyP50 > 1.2 {
+		t.Fatalf("idle central latency p50 = %.3f, want ~1", shallow.LatencyP50)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Width: 32, Nodes: 8, ServiceTime: 1, LinkDelay: 0.3,
+		ArrivalRate: 1, Tokens: 300, Seed: 9,
+	}
+	cut, err := tree.UniformCut(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cut = cut
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.LatencyMean != r2.LatencyMean {
+		t.Fatalf("non-deterministic simulation: %+v vs %+v", r1, r2)
+	}
+}

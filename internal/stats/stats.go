@@ -1,0 +1,169 @@
+// Package stats provides small statistical helpers used by the experiment
+// harness: summaries, percentiles, histograms and least-squares fits for
+// scaling-shape checks.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes the distribution of a sample.
+type Summary struct {
+	N    int
+	Min  float64
+	Max  float64
+	Mean float64
+	P50  float64
+	P90  float64
+	P99  float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+		P50:  Percentile(sorted, 0.50),
+		P90:  Percentile(sorted, 0.90),
+		P99:  Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 1) of a sorted sample
+// using nearest-rank interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// SummarizeInts is Summarize for integer samples.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g",
+		s.N, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Histogram is a fixed-bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	// Under and Over count out-of-range observations.
+	Under, Over int
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		n = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, b := range h.Buckets {
+		t += b
+	}
+	return t
+}
+
+// LinFit returns the least-squares slope and intercept of y against x.
+// It is used to check scaling shapes (e.g. depth vs. log^2 N should be
+// near-linear). Returns (0, 0) when fewer than two points are given.
+func LinFit(x, y []float64) (slope, intercept float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / fn
+	}
+	slope = (fn*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / fn
+	return slope, intercept
+}
+
+// Ratio returns a/b, or 0 when b is zero. It keeps experiment tables free
+// of NaN noise.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Log2 returns the base-2 logarithm of x (0 for x <= 0).
+func Log2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(x)
+}

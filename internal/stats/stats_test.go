@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v, want zeros", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 {
+		t.Fatalf("N = %d, want 4", s.N)
+	}
+	if s.Min != 1 || s.Max != 4 {
+		t.Fatalf("min/max = %v/%v, want 1/4", s.Min, s.Max)
+	}
+	if s.Mean != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", s.Mean)
+	}
+	if s.P50 != 2.5 {
+		t.Fatalf("p50 = %v, want 2.5", s.P50)
+	}
+}
+
+func TestSummarizeIntsMatchesFloats(t *testing.T) {
+	a := SummarizeInts([]int{5, 7, 9})
+	b := Summarize([]float64{5, 7, 9})
+	if a != b {
+		t.Fatalf("int summary %+v != float summary %+v", a, b)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{-0.5, 1},
+		{0, 1},
+		{0.5, 3},
+		{1, 5},
+		{1.5, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Percentile(sorted, 0.25); got != 2.5 {
+		t.Fatalf("Percentile(0.25) = %v, want 2.5", got)
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+			// Keep magnitudes small enough that the sum cannot overflow;
+			// IEEE saturation is not what this helper is specified for.
+			xs[i] = math.Mod(xs[i], 1e6)
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Observe(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Fatalf("bucket0 = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 { // 2
+		t.Fatalf("bucket1 = %d, want 1", h.Buckets[1])
+	}
+	if h.Buckets[4] != 1 { // 9.99
+		t.Fatalf("bucket4 = %d, want 1", h.Buckets[4])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram(5, 5, 0)
+	h.Observe(5)
+	if h.Total() != 1 {
+		t.Fatalf("total = %d, want 1", h.Total())
+	}
+}
+
+func TestLinFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	slope, intercept := LinFit(x, y)
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-3) > 1e-9 {
+		t.Fatalf("fit = (%v, %v), want (2, 3)", slope, intercept)
+	}
+}
+
+func TestLinFitDegenerate(t *testing.T) {
+	if s, i := LinFit([]float64{1}, []float64{2}); s != 0 || i != 0 {
+		t.Fatalf("single-point fit = (%v, %v), want zeros", s, i)
+	}
+	// Vertical line: all x equal.
+	s, i := LinFit([]float64{2, 2}, []float64{1, 3})
+	if s != 0 || i != 2 {
+		t.Fatalf("vertical fit = (%v, %v), want (0, 2)", s, i)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio(6,3) != 2")
+	}
+	if Ratio(1, 0) != 0 {
+		t.Fatal("ratio by zero should be 0")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if Log2(8) != 3 {
+		t.Fatal("log2(8) != 3")
+	}
+	if Log2(0) != 0 || Log2(-3) != 0 {
+		t.Fatal("log2 of non-positive should be 0")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	if str == "" || !strings.Contains(str, "n=3") {
+		t.Fatalf("summary string %q", str)
+	}
+}

@@ -1,0 +1,170 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Cut is a set of component paths forming a cut of T_w (Definition 2.1):
+// an antichain such that every root-to-leaf path of T_w meets it exactly
+// once. The components at a cut's members implement BITONIC[w]
+// (Theorem 2.1).
+type Cut map[Path]bool
+
+// RootCut returns the trivial cut containing only the root.
+func RootCut() Cut { return Cut{"": true} }
+
+// LeafCut returns the cut of all leaves of T_w (every component an
+// individual balancer).
+func LeafCut(w int) Cut {
+	cut := make(Cut)
+	var walk func(c Component)
+	walk = func(c Component) {
+		if c.IsLeaf() {
+			cut[c.Path] = true
+			return
+		}
+		for _, ch := range c.Children() {
+			walk(ch)
+		}
+	}
+	walk(MustRoot(w))
+	return cut
+}
+
+// UniformCut returns the cut of all components at the given level
+// (level <= MaxLevel(w)).
+func UniformCut(w, level int) (Cut, error) {
+	if level < 0 || level > MaxLevel(w) {
+		return nil, fmt.Errorf("tree: level %d out of range [0,%d]", level, MaxLevel(w))
+	}
+	cut := make(Cut)
+	var walk func(c Component)
+	walk = func(c Component) {
+		if c.Level() == level {
+			cut[c.Path] = true
+			return
+		}
+		for _, ch := range c.Children() {
+			walk(ch)
+		}
+	}
+	walk(MustRoot(w))
+	return cut, nil
+}
+
+// RandomCut returns a random cut of T_w: starting from the root, each
+// component is independently split with probability pSplit (leaves are
+// never split).
+func RandomCut(w int, pSplit float64, rng *rand.Rand) Cut {
+	cut := make(Cut)
+	var walk func(c Component)
+	walk = func(c Component) {
+		if !c.IsLeaf() && rng.Float64() < pSplit {
+			for _, ch := range c.Children() {
+				walk(ch)
+			}
+			return
+		}
+		cut[c.Path] = true
+	}
+	walk(MustRoot(w))
+	return cut
+}
+
+// Validate checks that the cut is a valid cut of T_w.
+func (cut Cut) Validate(w int) error {
+	root, err := Root(w)
+	if err != nil {
+		return err
+	}
+	maxLevel := MaxLevel(w)
+	for p := range cut {
+		if p.Level() > maxLevel {
+			return fmt.Errorf("tree: cut member %q below the leaves of T_%d", p, w)
+		}
+		if _, err := ComponentAt(w, p); err != nil {
+			return fmt.Errorf("tree: cut member %q is not a component of T_%d: %w", p, w, err)
+		}
+	}
+	var check func(c Component) error
+	check = func(c Component) error {
+		if cut[c.Path] {
+			// Antichain: no descendants may also be in the cut.
+			for q := range cut {
+				if c.Path.IsAncestorOf(q) {
+					return fmt.Errorf("tree: cut contains both %q and its descendant %q", c.Path, q)
+				}
+			}
+			return nil
+		}
+		if c.IsLeaf() {
+			return fmt.Errorf("tree: leaf %q not covered by the cut", c.Path)
+		}
+		for _, ch := range c.Children() {
+			if err := check(ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(root)
+}
+
+// Paths returns the cut's members in deterministic (sorted) order.
+func (cut Cut) Paths() []Path {
+	out := make([]Path, 0, len(cut))
+	for p := range cut {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Components resolves the cut's members against T_w in sorted order.
+func (cut Cut) Components(w int) ([]Component, error) {
+	paths := cut.Paths()
+	out := make([]Component, 0, len(paths))
+	for _, p := range paths {
+		c, err := ComponentAt(w, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Clone returns a copy of the cut.
+func (cut Cut) Clone() Cut {
+	out := make(Cut, len(cut))
+	for p := range cut {
+		out[p] = true
+	}
+	return out
+}
+
+// Member resolves the unique cut member that is p itself or an ancestor of
+// p, if any.
+func (cut Cut) Member(p Path) (Path, bool) {
+	for q := Path(""); ; {
+		if cut[q] {
+			return q, true
+		}
+		if len(q) == len(p) {
+			return "", false
+		}
+		q = p[:len(q)+1]
+	}
+}
+
+// Levels returns the multiset of member levels as a sorted slice.
+func (cut Cut) Levels() []int {
+	out := make([]int, 0, len(cut))
+	for p := range cut {
+		out = append(out, p.Level())
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,145 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRootCutValid(t *testing.T) {
+	for _, w := range []int{2, 4, 64} {
+		if err := RootCut().Validate(w); err != nil {
+			t.Errorf("root cut invalid for w=%d: %v", w, err)
+		}
+	}
+}
+
+func TestLeafCutValid(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16} {
+		cut := LeafCut(w)
+		if err := cut.Validate(w); err != nil {
+			t.Errorf("leaf cut invalid for w=%d: %v", w, err)
+		}
+		// All members are at the max level, and there are phi(maxLevel).
+		want := Phi(MaxLevel(w))
+		if int64(len(cut)) != want {
+			t.Errorf("leaf cut for w=%d has %d members, want %d", w, len(cut), want)
+		}
+	}
+}
+
+func TestUniformCutValid(t *testing.T) {
+	w := 32
+	for l := 0; l <= MaxLevel(w); l++ {
+		cut, err := UniformCut(w, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cut.Validate(w); err != nil {
+			t.Errorf("uniform cut level %d invalid: %v", l, err)
+		}
+		if int64(len(cut)) != Phi(l) {
+			t.Errorf("uniform cut level %d has %d members, want %d", l, len(cut), Phi(l))
+		}
+	}
+	if _, err := UniformCut(w, MaxLevel(w)+1); err == nil {
+		t.Error("UniformCut accepted a level below the leaves")
+	}
+	if _, err := UniformCut(w, -1); err == nil {
+		t.Error("UniformCut accepted a negative level")
+	}
+}
+
+func TestRandomCutsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		w := 4 << rng.Intn(4) // 4..32
+		cut := RandomCut(w, rng.Float64(), rng)
+		if err := cut.Validate(w); err != nil {
+			t.Fatalf("random cut invalid (w=%d): %v", w, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadCuts(t *testing.T) {
+	w := 8
+	tests := []struct {
+		name string
+		cut  Cut
+	}{
+		{"empty", Cut{}},
+		{"missing subtree", Cut{"0": true}},
+		{"overlap", Cut{"": true, "0": true}},
+		{"ancestor-descendant", Cut{"0": true, "00": true, "01": true, "02": true, "03": true, "04": true, "05": true, "1": true, "2": true, "3": true, "4": true, "5": true}},
+		{"below leaves", Cut{"000": true}},
+		{"bogus path", Cut{"7": true}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cut.Validate(w); err == nil {
+				t.Fatalf("cut %v should be invalid", tt.cut)
+			}
+		})
+	}
+}
+
+func TestCutMember(t *testing.T) {
+	cut := Cut{"0": true, "1": true, "2": true, "3": true, "4": true, "5": true}
+	if m, ok := cut.Member("021"); !ok || m != "0" {
+		t.Fatalf("Member(021) = %q, %v", m, ok)
+	}
+	if m, ok := cut.Member("3"); !ok || m != "3" {
+		t.Fatalf("Member(3) = %q, %v", m, ok)
+	}
+	if _, ok := RootCut().Member("15"); !ok {
+		t.Fatal("root cut should cover everything")
+	}
+	if _, ok := (Cut{"00": true}).Member("1"); ok {
+		t.Fatal("unrelated path should not resolve")
+	}
+}
+
+func TestCutPathsSorted(t *testing.T) {
+	cut := Cut{"5": true, "0": true, "31": true}
+	paths := cut.Paths()
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1] >= paths[i] {
+			t.Fatalf("paths not sorted: %v", paths)
+		}
+	}
+}
+
+func TestCutCloneIndependent(t *testing.T) {
+	cut := RootCut()
+	clone := cut.Clone()
+	delete(clone, "")
+	if !cut[""] {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestCutComponentsResolve(t *testing.T) {
+	w := 8
+	cut, err := UniformCut(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps, err := cut.Components(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 6 {
+		t.Fatalf("got %d components, want 6", len(comps))
+	}
+	for _, c := range comps {
+		if c.Width != 4 {
+			t.Fatalf("component %v width = %d, want 4", c, c.Width)
+		}
+	}
+}
+
+func TestCutLevels(t *testing.T) {
+	cut := Cut{"": true}
+	if ls := cut.Levels(); len(ls) != 1 || ls[0] != 0 {
+		t.Fatalf("levels = %v", ls)
+	}
+}

@@ -1,0 +1,144 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests (testing/quick) on the wire algebra: these are the
+// invariants every engine in the repository relies on.
+
+// widthFrom maps an arbitrary byte to a valid width 4..128.
+func widthFrom(b byte) int { return 4 << (int(b) % 6) }
+
+func kindFrom(b byte) Kind { return Kind(int(b)%3 + 1) }
+
+func TestQuickChildInputInRange(t *testing.T) {
+	f := func(kb, wb byte, in uint16) bool {
+		kind := kindFrom(kb)
+		width := widthFrom(wb)
+		wire := int(in) % width
+		child, childIn := ChildInput(kind, width, wire)
+		return (child == 0 || child == 1) && childIn >= 0 && childIn < width/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInputRoundTrip(t *testing.T) {
+	f := func(kb, wb byte, in uint16) bool {
+		kind := kindFrom(kb)
+		width := widthFrom(wb)
+		wire := int(in) % width
+		child, childIn := ChildInput(kind, width, wire)
+		back, ok := InvChildInput(kind, width, child, childIn)
+		return ok && back == wire
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNextRoundTrip(t *testing.T) {
+	f := func(kb, wb, cb byte, out uint16) bool {
+		kind := kindFrom(kb)
+		width := widthFrom(wb)
+		child := int(cb) % Degree(kind)
+		o := int(out) % (width / 2)
+		d := ChildNext(kind, width, child, o)
+		if !d.ToChild {
+			gc, gco := OutputSource(kind, width, d.ParentOut)
+			return gc == child && gco == o
+		}
+		sib, sibOut, ok := InvChildNext(kind, width, d.Child, d.ChildIn)
+		return ok && sib == child && sibOut == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPathParentChild(t *testing.T) {
+	f := func(seed int64, depth uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a random valid path in T_64 (max level 5).
+		c := MustRoot(64)
+		for i := 0; i < int(depth%6); i++ {
+			if c.IsLeaf() {
+				break
+			}
+			kids := c.Children()
+			c = kids[rng.Intn(len(kids))]
+		}
+		if c.Path == "" {
+			return true
+		}
+		parent, idx, ok := c.Parent(64)
+		if !ok {
+			return false
+		}
+		back, err := parent.Child(idx)
+		return err == nil && back.Path == c.Path && back.Kind == c.Kind && back.Width == c.Width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomCutsValidAndExact(t *testing.T) {
+	f := func(seed int64, pb byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 4 << (int(pb) % 4)
+		cut := RandomCut(w, float64(pb%100)/100, rng)
+		if cut.Validate(w) != nil {
+			return false
+		}
+		// Every leaf of T_w has exactly one covering member.
+		for _, leaf := range LeafCut(w).Paths() {
+			if _, ok := cut.Member(leaf); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPhiMonotone(t *testing.T) {
+	f := func(lb byte) bool {
+		l := int(lb) % 24
+		a, b := Phi(l), Phi(l+1)
+		return b >= 2*a && b <= 6*a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderCut(t *testing.T) {
+	out, err := Cut{"0": true, "1": true, "2": true, "3": true, "4": true, "5": true}.Render(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"B8@", "B4@0 *", "X4@5 *", "└─"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := (Cut{"0": true}).Render(8); err == nil {
+		t.Fatal("invalid cut rendered")
+	}
+	// Root-only cut renders a single line.
+	solo, err := RootCut().Render(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo != "B8@ *\n" {
+		t.Fatalf("root render = %q", solo)
+	}
+}

@@ -1,0 +1,41 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the cut as an ASCII tree over T_w: split components appear
+// as internal nodes, live components as leaves marked with an asterisk.
+// Subtrees entirely below the cut are elided. It is a debugging and
+// demonstration aid (cmd/acnsim -show).
+func (cut Cut) Render(w int) (string, error) {
+	if err := cut.Validate(w); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	root := MustRoot(w)
+	var walk func(c Component, prefix string, last bool)
+	walk = func(c Component, prefix string, last bool) {
+		connector := "├─ "
+		childPrefix := prefix + "│  "
+		if last {
+			connector = "└─ "
+			childPrefix = prefix + "   "
+		}
+		if c.Path == "" {
+			connector, childPrefix = "", ""
+		}
+		if cut[c.Path] {
+			fmt.Fprintf(&b, "%s%s%s *\n", prefix, connector, c.Name())
+			return
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", prefix, connector, c.Name())
+		kids := c.Children()
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1)
+		}
+	}
+	walk(root, "", true)
+	return b.String(), nil
+}
