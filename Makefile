@@ -1,0 +1,27 @@
+GO ?= go
+# Packages with real concurrency (goroutine tokens, shared fabrics, rings)
+# get a second pass under the race detector.
+RACE_PKGS = ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/match/... .
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

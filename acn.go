@@ -41,6 +41,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/match"
 	"repro/internal/sim"
+	"repro/internal/transport"
 	"repro/internal/tree"
 )
 
@@ -98,11 +99,54 @@ func NewCluster(width int, cut Cut) (*Cluster, error) {
 	return dist.New(width, cut)
 }
 
+// NewClusterOn builds an asynchronous cluster whose token hops and
+// freeze-protocol control messages travel over the given transport with
+// the given retry policy.
+func NewClusterOn(width int, cut Cut, tr Transport, retry RetryConfig) (*Cluster, error) {
+	return dist.NewOn(width, cut, tr, retry)
+}
+
 // Ring is a simulated Chord overlay ring.
 type Ring = chord.Ring
 
 // NewRing creates an empty Chord ring with the given randomness seed.
 func NewRing(seed int64) *Ring { return chord.NewRing(seed) }
+
+// NewRingOn creates an empty Chord ring whose cross-node RPCs (per-hop
+// finger queries, succ_k estimate probes) travel over the given transport.
+func NewRingOn(seed int64, tr Transport, retry RetryConfig) *Ring {
+	return chord.NewRingOn(seed, tr, retry)
+}
+
+// Transport is the message fabric cross-node RPCs, token hops and control
+// messages travel on.
+type Transport = transport.Transport
+
+// NewMemTransport creates the ideal in-memory fabric: reliable,
+// zero-latency, deterministic.
+func NewMemTransport() Transport { return transport.NewMem() }
+
+// FaultConfig sets a fault injector's seeded loss, duplication, reorder
+// and latency knobs.
+type FaultConfig = transport.FaultConfig
+
+// FaultyTransport wraps the in-memory fabric with seeded fault injection
+// and pairwise partitions; receiver-side dedup keeps retried messages
+// at-most-once.
+type FaultyTransport = transport.Faulty
+
+// NewFaultyTransport creates a fault-injecting fabric over a fresh
+// in-memory switch.
+func NewFaultyTransport(cfg FaultConfig) *FaultyTransport {
+	return transport.NewFaulty(transport.NewMem(), cfg)
+}
+
+// RetryConfig shapes the reliability client: per-attempt timeout and
+// capped exponential backoff retries. Zero fields take defaults.
+type RetryConfig = transport.RetryConfig
+
+// TransportStats are a fabric's per-message counters.
+type TransportStats = transport.Stats
 
 // NewBitonic constructs the classical balancer-level Bitonic[w] counting
 // network of Aspnes, Herlihy and Shavit.

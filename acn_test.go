@@ -2,8 +2,10 @@ package acn_test
 
 import (
 	"testing"
+	"time"
 
 	acn "repro"
+	"repro/internal/chord"
 )
 
 // TestFacadeQuickstart exercises the public API end to end, mirroring the
@@ -166,5 +168,43 @@ func TestFacadeControllerAndSim(t *testing.T) {
 	}
 	if res.Completed != 100 {
 		t.Fatalf("completed %d", res.Completed)
+	}
+}
+
+// TestFacadeFaultyTransport runs a cluster and a ring over the public
+// fault-injection API: counting stays exact despite message loss.
+func TestFacadeFaultyTransport(t *testing.T) {
+	f := acn.NewFaultyTransport(acn.FaultConfig{
+		Seed:          2,
+		DropRate:      0.05,
+		DupRate:       0.05,
+		LatencyJitter: 10 * time.Microsecond,
+	})
+	retry := acn.RetryConfig{Timeout: 500 * time.Microsecond, MaxRetries: 12, Backoff: 20 * time.Microsecond}
+	cl, err := acn.NewClusterOn(8, acn.RootCut(), f, retry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		out, err := cl.Inject(i % 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != i%8 {
+			t.Fatalf("token %d exited %d, want %d", i, out, i%8)
+		}
+	}
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.NetStats()
+	if st.Dropped == 0 {
+		t.Fatalf("faults not exercised: %+v", st)
+	}
+
+	ring := acn.NewRingOn(3, acn.NewFaultyTransport(acn.FaultConfig{Seed: 4, DropRate: 0.1}), retry)
+	ids := ring.JoinN(32)
+	if _, _, err := ring.Lookup(ids[0], chord.Hash("x")); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -196,3 +196,5 @@ func BenchmarkE21Generality(b *testing.B) { benchExperiment(b, "E21") }
 func BenchmarkE22AdaptivityAxes(b *testing.B) { benchExperiment(b, "E22") }
 
 func BenchmarkE23Saturation(b *testing.B) { benchExperiment(b, "E23") }
+
+func BenchmarkE24FaultyTransport(b *testing.B) { benchExperiment(b, "E24") }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the repository's verification gate, equivalent to `make check`
+# for environments without make: formatting, vet, build, full tests, and a
+# race-detector pass over the concurrent packages.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/match/... .
+
+echo "OK"

@@ -1,4 +1,4 @@
-// Command acnbench runs the reproduction experiments (E1..E20, indexed in
+// Command acnbench runs the reproduction experiments (E1..E24, indexed in
 // DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
 // output.
 //

@@ -10,6 +10,14 @@
 // the paper assumes while keeping experiments deterministic. Node joins,
 // voluntary leaves and crashes reassign key ownership to successors, which
 // is the hand-off rule of Section 3.4.
+//
+// Cross-node communication flows through an internal/transport fabric: each
+// ring member is a transport endpoint, a lookup issues one finger-query RPC
+// per overlay hop, and succ_k probes (the size estimator's messages) are
+// RPCs to the probed node. On the default ideal in-memory fabric this is
+// exactly as deterministic as direct calls; rings built with NewRingOn over
+// a fault-injecting fabric see their lookups and probes pay real message
+// loss, delay and retries.
 package chord
 
 import (
@@ -19,6 +27,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"repro/internal/transport"
 )
 
 // NodeID is a point on the Chord ring. The ring's circumference is the
@@ -32,15 +42,57 @@ type Ring struct {
 	rng *rand.Rand
 	ids []NodeID // sorted
 	set map[NodeID]bool
+
+	tr transport.Transport
+	rc *transport.Client
 }
 
 // NewRing creates an empty ring whose node identifiers are drawn from the
-// given seed (the "random identifiers" assumption of Section 1.4).
+// given seed (the "random identifiers" assumption of Section 1.4). Its
+// RPCs run over an ideal (reliable, zero-latency) in-memory transport.
 func NewRing(seed int64) *Ring {
+	return NewRingOn(seed, transport.NewMem(), transport.RetryConfig{})
+}
+
+// NewRingOn creates an empty ring whose cross-node RPCs (per-hop finger
+// queries, succ_k probes) travel over tr with the given retry policy. Pass
+// a transport.Faulty to expose lookups and estimate probes to message
+// loss, delay, duplication and partitions.
+func NewRingOn(seed int64, tr transport.Transport, retry transport.RetryConfig) *Ring {
 	return &Ring{
 		rng: rand.New(rand.NewSource(seed)),
 		set: make(map[NodeID]bool),
+		tr:  tr,
+		rc:  transport.NewClient(tr, retry),
 	}
+}
+
+// nodeAddr is the transport address of a ring member.
+func nodeAddr(id NodeID) transport.Addr {
+	return transport.Addr(fmt.Sprintf("n:%016x", uint64(id)))
+}
+
+// bindNode registers a node's RPC endpoint: "cpf" answers the
+// closest-preceding-finger query lookups route on; "probe" answers succ_k
+// liveness probes. Both are read-only and therefore idempotent under
+// retries.
+func (r *Ring) bindNode(id NodeID) error {
+	return r.tr.Bind(nodeAddr(id), func(req transport.Request) (any, error) {
+		switch req.Kind {
+		case "cpf":
+			key, ok := req.Body.(NodeID)
+			if !ok {
+				return nil, fmt.Errorf("chord: cpf body %T", req.Body)
+			}
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			return r.closestPrecedingLocked(id, key), nil
+		case "probe":
+			return id, nil
+		default:
+			return nil, fmt.Errorf("chord: unknown RPC kind %q", req.Kind)
+		}
+	})
 }
 
 // Join adds a node with a fresh uniformly random identifier and returns it.
@@ -53,6 +105,12 @@ func (r *Ring) Join() NodeID {
 			continue
 		}
 		r.insertLocked(id)
+		if err := r.bindNode(id); err != nil {
+			// The id is fresh, so the address cannot collide with a live
+			// member; a collision with a stale endpoint is a programming
+			// error.
+			panic(err)
+		}
 		return id
 	}
 }
@@ -86,6 +144,7 @@ func (r *Ring) Remove(id NodeID) error {
 	delete(r.set, id)
 	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
 	r.ids = append(r.ids[:i], r.ids[i+1:]...)
+	r.tr.Unbind(nodeAddr(id))
 	return nil
 }
 
@@ -144,15 +203,25 @@ func (r *Ring) successorLocked(key NodeID) (NodeID, error) {
 }
 
 // SuccK returns the k-th clockwise successor of node v (succ_1 is the next
-// node). v must be a ring member; k wraps around the ring.
+// node). v must be a ring member; k wraps around the ring. The probe is a
+// message: v confirms the successor's identity with one RPC (the
+// stabilized successor-list walk collapsed to its final exchange), so on a
+// faulty fabric estimate probes pay loss and delay like any other traffic.
 func (r *Ring) SuccK(v NodeID, k int) (NodeID, error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if !r.set[v] {
+		r.mu.RUnlock()
 		return 0, fmt.Errorf("chord: node %d not in ring", v)
 	}
 	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= v })
-	return r.ids[(i+k)%len(r.ids)], nil
+	sk := r.ids[(i+k)%len(r.ids)]
+	r.mu.RUnlock()
+	if sk != v {
+		if _, err := r.rc.Call(nodeAddr(v), nodeAddr(sk), "probe", k); err != nil {
+			return 0, fmt.Errorf("chord: succ_%d probe from %d: %w", k, v, err)
+		}
+	}
+	return sk, nil
 }
 
 // Dist returns the clockwise distance from u to v as a fraction of the
@@ -192,23 +261,38 @@ func mix64(x uint64) uint64 {
 // Lookup routes a query for key from node `from` using greedy
 // closest-preceding-finger forwarding and returns the owner and the number
 // of overlay hops taken. This is the cost model for every DHT lookup in the
-// adaptive network.
+// adaptive network. Each hop is one "cpf" RPC over the ring's transport:
+// the querying node asks the current hop for its closest preceding finger
+// (the iterative Chord lookup style), so on a faulty fabric every hop can
+// be delayed, lost and retried. The step sequence — and therefore the hop
+// count — is identical to the direct-call implementation on the ideal
+// fabric.
 func (r *Ring) Lookup(from NodeID, key NodeID) (owner NodeID, hops int, err error) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	if len(r.ids) == 0 {
+		r.mu.RUnlock()
 		return 0, 0, fmt.Errorf("chord: ring is empty")
 	}
 	if !r.set[from] {
+		r.mu.RUnlock()
 		return 0, 0, fmt.Errorf("chord: lookup source %d not in ring", from)
 	}
-	target, err := r.successorLocked(key)
-	if err != nil {
-		return 0, 0, err
+	target, terr := r.successorLocked(key)
+	bound := 2*len(r.ids) + 64
+	r.mu.RUnlock()
+	if terr != nil {
+		return 0, 0, terr
 	}
 	cur := from
 	for cur != target {
-		next := r.closestPrecedingLocked(cur, key)
+		reply, rerr := r.rc.Call(nodeAddr(from), nodeAddr(cur), "cpf", key)
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("chord: lookup for %d from %d: finger query at %d: %w", key, from, cur, rerr)
+		}
+		next, ok := reply.(NodeID)
+		if !ok {
+			return 0, 0, fmt.Errorf("chord: cpf reply %T", reply)
+		}
 		if next == cur {
 			// No finger strictly between cur and key: the owner is our
 			// immediate successor; take the final hop.
@@ -216,7 +300,7 @@ func (r *Ring) Lookup(from NodeID, key NodeID) (owner NodeID, hops int, err erro
 		}
 		cur = next
 		hops++
-		if hops > 2*len(r.ids)+64 {
+		if hops > bound {
 			return 0, 0, fmt.Errorf("chord: lookup for %d from %d did not converge", key, from)
 		}
 	}
@@ -236,6 +320,12 @@ func (r *Ring) closestPrecedingLocked(cur, key NodeID) NodeID {
 		}
 	}
 	return cur
+}
+
+// NetStats returns the ring's transport-level and client-level message
+// counters (sent/dropped/duplicated/deduped; calls/retries/timeouts).
+func (r *Ring) NetStats() (transport.Stats, transport.ClientStats) {
+	return r.tr.Stats(), r.rc.Stats()
 }
 
 // inOpenInterval reports whether x lies in the circular open interval

@@ -1,0 +1,108 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestLookupOverFaultyTransport: under message loss, duplication and delay
+// jitter, retried lookups return exactly the owner and hop count the ideal
+// fabric produces — reliability is the client layer's job, routing is
+// unchanged.
+func TestLookupOverFaultyTransport(t *testing.T) {
+	ideal := NewRing(1)
+	faulty := NewRingOn(1, transport.NewFaulty(transport.NewMem(), transport.FaultConfig{
+		Seed:          2,
+		DropRate:      0.15,
+		DupRate:       0.15,
+		LatencyBase:   2 * time.Microsecond,
+		LatencyJitter: 10 * time.Microsecond,
+	}), transport.RetryConfig{Timeout: 500 * time.Microsecond, MaxRetries: 12, Backoff: 20 * time.Microsecond})
+
+	idsI := ideal.JoinN(64)
+	idsF := faulty.JoinN(64)
+	for i := range idsI {
+		if idsI[i] != idsF[i] {
+			t.Fatal("membership streams diverged despite equal seeds")
+		}
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 25; i++ {
+		from := idsI[rng.Intn(len(idsI))]
+		key := Hash(fmt.Sprint("key", i))
+		ownI, hopsI, err := ideal.Lookup(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownF, hopsF, err := faulty.Lookup(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ownI != ownF || hopsI != hopsF {
+			t.Fatalf("lookup %d diverged: ideal (%d, %d hops) vs faulty (%d, %d hops)",
+				i, ownI, hopsI, ownF, hopsF)
+		}
+	}
+	st, cs := faulty.NetStats()
+	if st.Dropped == 0 || cs.Retries == 0 {
+		t.Fatalf("faults not exercised: transport %+v client %+v", st, cs)
+	}
+	if cs.Failures != 0 {
+		t.Fatalf("client stats %+v: retries exhausted", cs)
+	}
+}
+
+// TestSuccKIsAMessage: succ_k probes cost transport messages, and a fully
+// lossy fabric makes them fail after retries.
+func TestSuccKIsAMessage(t *testing.T) {
+	r := NewRing(4)
+	ids := r.JoinN(8)
+	before, _ := r.NetStats()
+	if _, err := r.SuccK(ids[0], 3); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := r.NetStats()
+	if after.Sent != before.Sent+1 {
+		t.Fatalf("succ_k sent %d messages, want 1", after.Sent-before.Sent)
+	}
+
+	lossy := NewRingOn(4, transport.NewFaulty(transport.NewMem(), transport.FaultConfig{Seed: 1, DropRate: 1}),
+		transport.RetryConfig{Timeout: 100 * time.Microsecond, MaxRetries: 1, Backoff: 10 * time.Microsecond})
+	lids := lossy.JoinN(8)
+	if _, err := lossy.SuccK(lids[0], 3); err == nil {
+		t.Fatal("succ_k probe succeeded over a fully lossy fabric")
+	} else if !strings.Contains(err.Error(), "probe") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestLookupTargetsUnbindOnLeave: a removed node's endpoint is gone; a
+// lookup that would route through it from a live source still works because
+// fingers are recomputed against the current ring, but addressing the
+// removed node directly is unreachable.
+func TestLookupTargetsUnbindOnLeave(t *testing.T) {
+	r := NewRing(7)
+	ids := r.JoinN(16)
+	gone := ids[3]
+	if err := r.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Lookup(gone, Hash("x")); err == nil {
+		t.Fatal("lookup from a removed node should fail")
+	}
+	for i := 0; i < 10; i++ {
+		from := ids[(4+i)%16]
+		if from == gone {
+			continue
+		}
+		if _, _, err := r.Lookup(from, Hash(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/chord"
 	"repro/internal/component"
+	"repro/internal/transport"
 	"repro/internal/tree"
 )
 
@@ -52,6 +53,14 @@ type Config struct {
 	// Zero means 1, the paper's initial state: the whole network on one
 	// node.
 	InitialNodes int
+	// Transport, if non-nil, carries the overlay's RPCs (per-hop finger
+	// queries, succ_k estimate probes); nil means an ideal in-memory
+	// fabric. Pass a transport.Faulty to expose the adaptive network's
+	// lookup traffic to message loss and delay.
+	Transport transport.Transport
+	// Retry shapes the reliability client for those RPCs; zero fields take
+	// the transport package defaults.
+	Retry transport.RetryConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +87,15 @@ type Metrics struct {
 	Moves        uint64 // components transferred due to joins/leaves
 	Repairs      uint64 // components reconstructed after crashes
 	MaintainRuns uint64 // maintenance rounds executed
+
+	// Message-level counters from the overlay's transport fabric, filled
+	// from the ring's NetStats when the snapshot is taken. On the default
+	// ideal fabric MsgsSent tracks LookupHops + estimate probes and the
+	// fault counters stay zero.
+	MsgsSent    uint64 // messages handed to the fabric (including retries)
+	MsgsDropped uint64 // messages the fault injector lost
+	MsgsRetried uint64 // re-sends the reliability client issued
+	MsgsDeduped uint64 // duplicate deliveries absorbed by receiver dedup
 }
 
 // liveComp is a component currently in the network.
@@ -127,9 +145,13 @@ func New(cfg Config) (*Network, error) {
 	if cfg.InitialNodes < 1 {
 		return nil, fmt.Errorf("core: InitialNodes %d < 1", cfg.InitialNodes)
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewMem()
+	}
 	n := &Network{
 		cfg:      cfg,
-		ring:     chord.NewRing(cfg.Seed),
+		ring:     chord.NewRingOn(cfg.Seed, tr, cfg.Retry),
 		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		comps:    make(map[tree.Path]*liveComp),
 		nodes:    make(map[chord.NodeID]*nodeInfo),
@@ -162,11 +184,18 @@ func (n *Network) NumComponents() int {
 	return len(n.comps)
 }
 
-// Metrics returns a snapshot of the cumulative counters.
+// Metrics returns a snapshot of the cumulative counters, including the
+// overlay transport's message-level counters.
 func (n *Network) Metrics() Metrics {
 	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.metrics
+	m := n.metrics
+	n.mu.RUnlock()
+	st, cs := n.ring.NetStats()
+	m.MsgsSent = st.Sent
+	m.MsgsDropped = st.Dropped
+	m.MsgsRetried = cs.Retries
+	m.MsgsDeduped = st.DedupHits
+	return m
 }
 
 // Nodes returns the current overlay node identifiers.

@@ -12,25 +12,40 @@
 //     states combine into the parent, and stored tokens are forwarded to
 //     the parent.
 //
-// Late messages addressed to replaced components are re-resolved against
-// the current cut: descending through input maps after a split, ascending
-// through the entry-child inverse after a merge. This mirrors what a node
-// does when a cached out-neighbor address turns out to be stale.
+// Every cross-component interaction is a message on an internal/transport
+// fabric: token hops are "arrive" RPCs, the freeze protocol's freeze /
+// total / kill exchanges are control RPCs, and a frozen component releases
+// its stored tokens by sending each one a "resume" control message. On the
+// default ideal in-memory fabric this is exactly as deterministic as the
+// old direct calls; built over transport.Faulty (NewOn), every one of
+// those messages can be delayed, lost, duplicated or reordered, and the
+// retry + at-most-once layer must keep counting exact (experiment E24).
+//
+// Each component incarnation binds its own transport address ("c:<path>#
+// <generation>"), and dead incarnations stay bound: a straggling retry of
+// a message that the dead incarnation already executed is answered from
+// its dedup cache instead of leaking into a successor component, which is
+// what preserves exactly-once effects across reconfigurations. Late
+// messages addressed to replaced components are re-resolved against the
+// current cut: descending through input maps after a split, ascending
+// through the entry-child inverse after a merge.
 //
 // Compared to internal/core (the metered structural simulator), this
 // package trades instrumentation for real concurrency; internal/core
 // validates the paper's quantitative claims, this package validates the
-// protocol's safety under interleavings (including with -race).
+// protocol's safety under interleavings (including with -race) and under
+// injected network faults.
 package dist
 
 import (
 	"fmt"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/balancer"
 	"repro/internal/component"
 	"repro/internal/cutnet"
+	"repro/internal/transport"
 	"repro/internal/tree"
 )
 
@@ -43,21 +58,63 @@ const (
 	stateDead
 )
 
-// retarget tells a stored token where to resume.
-type retarget struct {
-	path tree.Path
-	wire int
+// Message kinds on the component and token endpoints.
+const (
+	kindArrive = "arrive" // token delivery to an input wire
+	kindFreeze = "freeze" // control: stop processing, snapshot state
+	kindTotal  = "total"  // control: report the processed-token total
+	kindKill   = "kill"   // control: die and release stored tokens
+	kindResume = "resume" // control: stored token's continuation target
+)
+
+// arriveReq asks a component to accept a token on an input wire. Token is
+// the sender's endpoint, where a resume message goes if the component is
+// frozen and stores the token.
+type arriveReq struct {
+	Wire  int
+	Token transport.Addr
+}
+
+// arriveStatus is the outcome of an arrive RPC.
+type arriveStatus uint8
+
+const (
+	statusProcessed arriveStatus = iota + 1 // routed; Out is the output wire
+	statusQueued                            // stored at a frozen component; await resume
+	statusDead                              // component replaced; re-resolve
+)
+
+// arriveRes is the reply to an arrive RPC.
+type arriveRes struct {
+	Status arriveStatus
+	Out    int
+}
+
+// freezeRes snapshots a component's state at freeze time. Processed is the
+// per-input-wire count of tokens actually routed (arrivals minus stored);
+// both fields are stable once the component is frozen, which makes the
+// freeze RPC idempotent under retries.
+type freezeRes struct {
+	Total     uint64
+	Processed []uint64
+}
+
+// resumeMsg tells a stored token where to re-enter the network.
+type resumeMsg struct {
+	Path tree.Path
+	Wire int
 }
 
 // queuedToken is a token stored at a frozen component.
 type queuedToken struct {
-	wire    int
-	release chan retarget
+	wire int
+	tok  transport.Addr
 }
 
-// comp is a live component plus its protocol state.
+// comp is a live component incarnation plus its protocol state.
 type comp struct {
-	c tree.Component
+	c    tree.Component
+	addr transport.Addr
 
 	mu      sync.Mutex
 	state   compState
@@ -79,7 +136,18 @@ func (c *comp) processedPerWireLocked() []uint64 {
 
 // Cluster is a counting network under the asynchronous engine.
 type Cluster struct {
-	w int
+	w  int
+	tr transport.Transport
+	rc *transport.Client
+
+	gen    atomic.Uint64 // component incarnation counter (address suffix)
+	tokSeq atomic.Uint64 // token endpoint counter
+
+	// drainCh wakes a merge waiting for its assembly to drain; any arrive
+	// that processes a token signals it (capacity 1, lossy send): the
+	// waiter re-checks conservation on every wakeup, so a coalesced or
+	// stale signal costs one extra check, never a missed one.
+	drainCh chan struct{}
 
 	topo  sync.RWMutex // guards comps (the cut)
 	comps map[tree.Path]*comp
@@ -91,13 +159,24 @@ type Cluster struct {
 	reconfig sync.Mutex // serializes Split/Merge against each other only
 }
 
-// New creates a cluster implementing BITONIC[w] with the given cut.
+// New creates a cluster implementing BITONIC[w] with the given cut over an
+// ideal (reliable, zero-latency) in-memory fabric.
 func New(w int, cut tree.Cut) (*Cluster, error) {
+	return NewOn(w, cut, transport.NewMem(), transport.RetryConfig{})
+}
+
+// NewOn creates a cluster whose token and control messages travel over tr
+// with the given retry policy. Pass a transport.Faulty to exercise the
+// freeze protocol under message loss, delay, duplication and reordering.
+func NewOn(w int, cut tree.Cut, tr transport.Transport, retry transport.RetryConfig) (*Cluster, error) {
 	if err := cut.Validate(w); err != nil {
 		return nil, err
 	}
 	cl := &Cluster{
 		w:        w,
+		tr:       tr,
+		rc:       transport.NewClient(tr, retry),
+		drainCh:  make(chan struct{}, 1),
 		comps:    make(map[tree.Path]*comp, len(cut)),
 		out:      make([]uint64, w),
 		injected: make([]uint64, w),
@@ -107,7 +186,11 @@ func New(w int, cut tree.Cut) (*Cluster, error) {
 		return nil, err
 	}
 	for _, c := range comps {
-		cl.comps[c.Path] = &comp{c: c, state: stateActive, arrived: make([]uint64, c.Width)}
+		cm := &comp{c: c, state: stateActive, arrived: make([]uint64, c.Width)}
+		if err := cl.bind(cm); err != nil {
+			return nil, err
+		}
+		cl.comps[c.Path] = cm
 	}
 	return cl, nil
 }
@@ -115,6 +198,88 @@ func New(w int, cut tree.Cut) (*Cluster, error) {
 // NewRootOnly creates a cluster whose network is a single root component.
 func NewRootOnly(w int) (*Cluster, error) {
 	return New(w, tree.RootCut())
+}
+
+// bind gives a fresh incarnation its own endpoint. Dead incarnations stay
+// bound for the cluster's lifetime so straggling retries are answered from
+// their dedup state rather than reaching a successor incarnation.
+func (cl *Cluster) bind(cm *comp) error {
+	cm.addr = transport.Addr(fmt.Sprintf("c:%s#%d", cm.c.Path, cl.gen.Add(1)))
+	return cl.tr.Bind(cm.addr, func(req transport.Request) (any, error) {
+		return cl.compRPC(cm, req)
+	})
+}
+
+// compRPC serves one component endpoint.
+func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
+	switch req.Kind {
+	case kindArrive:
+		ar, ok := req.Body.(arriveReq)
+		if !ok {
+			return nil, fmt.Errorf("dist: arrive body %T", req.Body)
+		}
+		if ar.Wire < 0 || ar.Wire >= cm.c.Width {
+			return nil, fmt.Errorf("dist: arrive wire %d out of range [0,%d)", ar.Wire, cm.c.Width)
+		}
+		cm.mu.Lock()
+		switch cm.state {
+		case stateDead:
+			cm.mu.Unlock()
+			return arriveRes{Status: statusDead}, nil
+		case stateFrozen:
+			cm.arrived[ar.Wire]++
+			cm.queue = append(cm.queue, queuedToken{wire: ar.Wire, tok: ar.Token})
+			cm.mu.Unlock()
+			return arriveRes{Status: statusQueued}, nil
+		default:
+			cm.arrived[ar.Wire]++
+			out := int(cm.total % uint64(cm.c.Width))
+			cm.total++
+			cm.mu.Unlock()
+			cl.signalDrain()
+			return arriveRes{Status: statusProcessed, Out: out}, nil
+		}
+	case kindFreeze:
+		cm.mu.Lock()
+		defer cm.mu.Unlock()
+		if cm.state == stateDead {
+			return nil, fmt.Errorf("dist: freeze: %v is dead", cm.c)
+		}
+		cm.state = stateFrozen
+		return freezeRes{Total: cm.total, Processed: cm.processedPerWireLocked()}, nil
+	case kindTotal:
+		cm.mu.Lock()
+		defer cm.mu.Unlock()
+		return cm.total, nil
+	case kindKill:
+		cm.mu.Lock()
+		cm.state = stateDead
+		queue := cm.queue
+		cm.queue = nil
+		cm.mu.Unlock()
+		// Release stored tokens: each gets a resume control message telling
+		// it to re-enter at this component's position; delivery is async so
+		// a slow token endpoint cannot stall the kill reply.
+		for _, q := range queue {
+			q := q
+			go func() {
+				// ErrUnreachable means the token already finished (its
+				// endpoint unbound) — only possible for duplicates.
+				_, _ = cl.rc.Call(cm.addr, q.tok, kindResume, resumeMsg{Path: cm.c.Path, Wire: q.wire})
+			}()
+		}
+		return len(queue), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown RPC kind %q", req.Kind)
+	}
+}
+
+// signalDrain wakes a merge waiting on the conservation invariant.
+func (cl *Cluster) signalDrain() {
+	select {
+	case cl.drainCh <- struct{}{}:
+	default:
+	}
 }
 
 // Width returns the network width.
@@ -138,8 +303,22 @@ func (cl *Cluster) Cut() tree.Cut {
 	return cut
 }
 
+// NetStats returns the fabric's per-message counters and the reliability
+// client's call/retry counters.
+func (cl *Cluster) NetStats() (transport.Stats, transport.ClientStats) {
+	return cl.tr.Stats(), cl.rc.Stats()
+}
+
+// tokenAddr is the endpoint of one in-flight token.
+func tokenAddr(seq uint64) transport.Addr {
+	return transport.Addr(fmt.Sprintf("t:%d", seq))
+}
+
 // Inject routes one token in from network input wire in, concurrently with
 // any other tokens and any reconfiguration, and returns the output wire.
+// Every hop is an arrive RPC issued from the token's own endpoint, which
+// also receives resume control messages when a frozen component stores and
+// later releases the token.
 func (cl *Cluster) Inject(in int) (int, error) {
 	if in < 0 || in >= cl.w {
 		return 0, fmt.Errorf("dist: input wire %d out of range [0,%d)", in, cl.w)
@@ -147,6 +326,20 @@ func (cl *Cluster) Inject(in int) (int, error) {
 	cl.cmu.Lock()
 	cl.injected[in]++
 	cl.cmu.Unlock()
+
+	tok := tokenAddr(cl.tokSeq.Add(1))
+	resume := make(chan resumeMsg, 8)
+	if err := cl.tr.Bind(tok, func(req transport.Request) (any, error) {
+		rm, ok := req.Body.(resumeMsg)
+		if !ok {
+			return nil, fmt.Errorf("dist: resume body %T", req.Body)
+		}
+		resume <- rm
+		return true, nil
+	}); err != nil {
+		return 0, err
+	}
+	defer cl.tr.Unbind(tok)
 
 	// The network input wire belongs to whatever live component covers the
 	// root's input descent; delivery re-resolves as needed.
@@ -156,22 +349,26 @@ func (cl *Cluster) Inject(in int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		out, stored, release, err := cm.arrive(rwire)
-		if err == errDead {
+		reply, err := cl.rc.Call(tok, cm.addr, kindArrive, arriveReq{Wire: rwire, Token: tok})
+		if err != nil {
+			return 0, fmt.Errorf("dist: arrive at %v: %w", cm.c, err)
+		}
+		res, ok := reply.(arriveRes)
+		if !ok {
+			return 0, fmt.Errorf("dist: arrive reply %T", reply)
+		}
+		switch res.Status {
+		case statusDead:
 			// The component was replaced between resolution and delivery;
 			// re-resolve against the current cut.
 			path, wire = cm.c.Path, rwire
 			continue
-		}
-		if err != nil {
-			return 0, err
-		}
-		if stored {
-			rt := <-release
-			path, wire = rt.path, rt.wire
+		case statusQueued:
+			rt := <-resume
+			path, wire = rt.Path, rt.Wire
 			continue
 		}
-		next, exited, netOut, err := cl.resolveNext(cm.c, out)
+		next, exited, netOut, err := cl.resolveNext(cm.c, res.Out)
 		if err != nil {
 			return 0, err
 		}
@@ -185,34 +382,11 @@ func (cl *Cluster) Inject(in int) (int, error) {
 	}
 }
 
-// arrive delivers a token to the component on input wire w. It returns
-// either the output wire (processed) or a release channel (stored because
-// the component is frozen). A dead component rejects the delivery so the
-// caller re-resolves.
-func (c *comp) arrive(w int) (out int, stored bool, release chan retarget, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	switch c.state {
-	case stateDead:
-		return 0, false, nil, errDead
-	case stateFrozen:
-		ch := make(chan retarget, 1)
-		c.arrived[w]++
-		c.queue = append(c.queue, queuedToken{wire: w, release: ch})
-		return 0, true, ch, nil
-	default:
-		c.arrived[w]++
-		out = int(c.total % uint64(c.c.Width))
-		c.total++
-		return out, false, nil, nil
-	}
-}
-
-var errDead = fmt.Errorf("dist: component replaced")
-
 // findLive resolves the live component covering (path, wire): path itself,
 // a descendant (after a split: descend through input maps), or an ancestor
-// (after a merge: ascend through the entry-child inverse).
+// (after a merge: ascend through the entry-child inverse). This is local
+// address resolution — the analogue of core's cached out-neighbor
+// directory — not a message.
 func (cl *Cluster) findLive(path tree.Path, wire int) (*comp, int, error) {
 	cl.topo.RLock()
 	defer cl.topo.RUnlock()
@@ -333,9 +507,19 @@ func (cl *Cluster) CheckStep() error {
 	return nil
 }
 
+// ctl issues one control RPC from the reconfiguration coordinator.
+func (cl *Cluster) ctl(cm *comp, kind string) (any, error) {
+	reply, err := cl.rc.Call("ctl", cm.addr, kind, nil)
+	if err != nil {
+		return nil, fmt.Errorf("dist: %s %v: %w", kind, cm.c, err)
+	}
+	return reply, nil
+}
+
 // Split replaces the component at path p by its children while traffic
-// flows: freeze, initialize children from the frozen per-wire history,
-// swap, and forward stored tokens.
+// flows: freeze (a control RPC returning the frozen per-wire history),
+// initialize children from it, swap, and kill the old incarnation, which
+// releases its stored tokens via resume messages.
 func (cl *Cluster) Split(p tree.Path) error {
 	cl.reconfig.Lock()
 	defer cl.reconfig.Unlock()
@@ -349,18 +533,21 @@ func (cl *Cluster) Split(p tree.Path) error {
 	if cm.c.IsLeaf() {
 		return fmt.Errorf("dist: split: %v is an individual balancer", cm.c)
 	}
-
-	// Freeze and snapshot the processed-per-wire history.
 	cm.mu.Lock()
-	if cm.state != stateActive {
-		cm.mu.Unlock()
+	active := cm.state == stateActive
+	cm.mu.Unlock()
+	if !active {
 		return fmt.Errorf("dist: split: %v is not active", cm.c)
 	}
-	cm.state = stateFrozen
-	processed := cm.processedPerWireLocked()
-	cm.mu.Unlock()
 
-	totals, flows, err := component.SplitFlows(cm.c, processed)
+	// Freeze and snapshot the processed-per-wire history.
+	reply, err := cl.ctl(cm, kindFreeze)
+	if err != nil {
+		return err
+	}
+	snap := reply.(freezeRes)
+
+	totals, flows, err := component.SplitFlows(cm.c, snap.Processed)
 	if err != nil {
 		return err
 	}
@@ -368,6 +555,9 @@ func (cl *Cluster) Split(p tree.Path) error {
 	newComps := make([]*comp, len(children))
 	for i, child := range children {
 		newComps[i] = &comp{c: child, state: stateActive, total: totals[i], arrived: flows[i]}
+		if err := cl.bind(newComps[i]); err != nil {
+			return err
+		}
 	}
 
 	// Swap the topology.
@@ -378,17 +568,10 @@ func (cl *Cluster) Split(p tree.Path) error {
 	}
 	cl.topo.Unlock()
 
-	// Kill the old component and forward its stored tokens: they re-enter
-	// at (p, wire) and findLive descends into the children.
-	cm.mu.Lock()
-	cm.state = stateDead
-	queue := cm.queue
-	cm.queue = nil
-	cm.mu.Unlock()
-	for _, q := range queue {
-		q.release <- retarget{path: p, wire: q.wire}
-	}
-	return nil
+	// Kill the old incarnation; its stored tokens re-enter at (p, wire) and
+	// findLive descends into the children.
+	_, err = cl.ctl(cm, kindKill)
+	return err
 }
 
 // Merge reforms the component at p from its children while traffic flows,
@@ -440,58 +623,75 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 	}
 
 	// Phase 1: freeze the entry children; external arrivals are stored.
-	for _, cm := range cms[:2] {
+	// Their freeze snapshots are final: a frozen component's total and
+	// processed history no longer change.
+	deg := len(cms)
+	entrySnaps := make([]freezeRes, 2)
+	for i, cm := range cms[:2] {
 		cm.mu.Lock()
-		if cm.state != stateActive {
-			cm.mu.Unlock()
+		active := cm.state == stateActive
+		cm.mu.Unlock()
+		if !active {
 			return fmt.Errorf("dist: merge: entry child %v is not active", cm.c)
 		}
-		cm.state = stateFrozen
-		cm.mu.Unlock()
+		reply, err := cl.ctl(cm, kindFreeze)
+		if err != nil {
+			return err
+		}
+		entrySnaps[i] = reply.(freezeRes)
 	}
 
 	// Phase 2: wait for internal in-flight tokens to drain, detected by
-	// the conservation invariant (all stages saw equally many tokens).
-	deg := len(cms)
+	// the conservation invariant (all stages saw equally many tokens). The
+	// totals are polled with control RPCs; between polls the coordinator
+	// blocks on drainCh, which every processed token signals — no
+	// busy-wait.
 	for {
 		totals := make([]uint64, deg)
-		for i, cm := range cms {
-			cm.mu.Lock()
-			totals[i] = cm.total
-			cm.mu.Unlock()
+		totals[0], totals[1] = entrySnaps[0].Total, entrySnaps[1].Total
+		for i, cm := range cms[2:] {
+			reply, err := cl.ctl(cm, kindTotal)
+			if err != nil {
+				return err
+			}
+			totals[2+i] = reply.(uint64)
 		}
 		if component.CheckConservation(parent, totals) == nil {
 			break
 		}
-		time.Sleep(20 * time.Microsecond)
+		// Conservation not yet reached, so a token is in flight inside the
+		// assembly; its next arrive will signal. A stale or unrelated
+		// signal just costs one extra poll.
+		<-cl.drainCh
 	}
 
 	// Phase 3: freeze the remaining (now idle) children and combine state.
-	for _, cm := range cms[2:] {
-		cm.mu.Lock()
-		cm.state = stateFrozen
-		cm.mu.Unlock()
-	}
 	totals := make([]uint64, deg)
+	totals[0], totals[1] = entrySnaps[0].Total, entrySnaps[1].Total
+	for i, cm := range cms[2:] {
+		reply, err := cl.ctl(cm, kindFreeze)
+		if err != nil {
+			return err
+		}
+		totals[2+i] = reply.(freezeRes).Total
+	}
 	arrived := make([]uint64, parent.Width)
-	for i, cm := range cms {
-		cm.mu.Lock()
-		totals[i] = cm.total
-		if i < 2 {
-			for wire, cnt := range cm.processedPerWireLocked() {
-				pin, ok := tree.InvChildInput(parent.Kind, parent.Width, i, wire)
-				if ok {
-					arrived[pin] += cnt
-				}
+	for i := 0; i < 2; i++ {
+		for wire, cnt := range entrySnaps[i].Processed {
+			pin, ok := tree.InvChildInput(parent.Kind, parent.Width, i, wire)
+			if ok {
+				arrived[pin] += cnt
 			}
 		}
-		cm.mu.Unlock()
 	}
 	total, err := component.MergeTotal(parent, totals)
 	if err != nil {
 		return err
 	}
 	merged := &comp{c: parent, state: stateActive, total: total, arrived: arrived}
+	if err := cl.bind(merged); err != nil {
+		return err
+	}
 
 	// Phase 4: swap the topology.
 	cl.topo.Lock()
@@ -501,16 +701,11 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 	cl.comps[p] = merged
 	cl.topo.Unlock()
 
-	// Phase 5: kill the children and forward stored tokens; they re-enter
-	// at (child, wire) and findLive ascends into the merged parent.
+	// Phase 5: kill the children; their stored tokens re-enter at
+	// (child, wire) and findLive ascends into the merged parent.
 	for _, cm := range cms {
-		cm.mu.Lock()
-		cm.state = stateDead
-		queue := cm.queue
-		cm.queue = nil
-		cm.mu.Unlock()
-		for _, q := range queue {
-			q.release <- retarget{path: cm.c.Path, wire: q.wire}
+		if _, err := cl.ctl(cm, kindKill); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/transport"
 	"repro/internal/tree"
 )
 
@@ -344,30 +345,50 @@ func TestFindLiveDescendsAfterSplit(t *testing.T) {
 	}
 }
 
-// TestArriveOnDeadComponent: delivery to a dead component is rejected so
-// the sender re-resolves.
+// TestArriveOnDeadComponent: an arrive RPC at a dead incarnation is
+// answered with statusDead so the sender re-resolves.
 func TestArriveOnDeadComponent(t *testing.T) {
+	cl, err := NewRootOnly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cm := &comp{c: tree.MustRoot(4), state: stateDead, arrived: make([]uint64, 4)}
-	if _, _, _, err := cm.arrive(0); err != errDead {
-		t.Fatalf("err = %v, want errDead", err)
+	reply, err := cl.compRPC(cm, transport.Request{Kind: kindArrive, Body: arriveReq{Wire: 0, Token: "t:test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := reply.(arriveRes); res.Status != statusDead {
+		t.Fatalf("status = %v, want statusDead", res.Status)
+	}
+	if cm.arrived[0] != 0 {
+		t.Fatal("dead component recorded an arrival")
 	}
 }
 
-// TestArriveOnFrozenComponentQueues: delivery to a frozen component is
-// stored and released with a retarget.
+// TestArriveOnFrozenComponentQueues: an arrive RPC at a frozen component is
+// stored with the token's endpoint, to be released by a resume message.
 func TestArriveOnFrozenComponentQueues(t *testing.T) {
+	cl, err := NewRootOnly(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cm := &comp{c: tree.MustRoot(4), state: stateFrozen, arrived: make([]uint64, 4)}
-	_, stored, release, err := cm.arrive(2)
-	if err != nil || !stored {
-		t.Fatalf("stored=%v err=%v", stored, err)
+	reply, err := cl.compRPC(cm, transport.Request{Kind: kindArrive, Body: arriveReq{Wire: 2, Token: "t:test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := reply.(arriveRes); res.Status != statusQueued {
+		t.Fatalf("status = %v, want statusQueued", res.Status)
 	}
 	if cm.arrived[2] != 1 || len(cm.queue) != 1 {
 		t.Fatalf("arrival not recorded: %+v", cm)
 	}
-	go func() { cm.queue[0].release <- retarget{path: "1", wire: 3} }()
-	rt := <-release
-	if rt.path != "1" || rt.wire != 3 {
-		t.Fatalf("retarget = %+v", rt)
+	if q := cm.queue[0]; q.wire != 2 || q.tok != "t:test" {
+		t.Fatalf("queued token = %+v", q)
+	}
+	// The stored token does not count as processed.
+	if p := cm.processedPerWireLocked(); p[2] != 0 {
+		t.Fatalf("processed = %v, want stored token excluded", p)
 	}
 }
 

@@ -47,10 +47,10 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
-		t.Fatalf("got %d experiments, want 23", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("got %d experiments, want 24", len(ids))
 	}
-	if ids[0] != "E1" || ids[9] != "E10" || ids[22] != "E23" {
+	if ids[0] != "E1" || ids[9] != "E10" || ids[23] != "E24" {
 		t.Fatalf("IDs not numerically ordered: %v", ids)
 	}
 }

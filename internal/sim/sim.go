@@ -39,6 +39,14 @@ type Config struct {
 	Tokens int
 	// Seed drives arrivals and input-wire choices.
 	Seed int64
+	// DropRate is the probability that one inter-component message attempt
+	// is lost; the sender detects the loss after RetryTimeout and re-sends,
+	// so a lossy link costs extra latency, never a lost token (the
+	// transport layer's retry semantics in time units). Must be in [0, 1).
+	DropRate float64
+	// RetryTimeout is the time a sender waits before re-sending a lost
+	// message. Zero means 4 * LinkDelay.
+	RetryTimeout float64
 }
 
 // Result summarizes a run.
@@ -50,6 +58,7 @@ type Result struct {
 	LatencyP50  float64
 	LatencyP99  float64
 	MaxNodeBusy float64 // utilization of the busiest node (busy time / makespan)
+	Resends     int     // message re-sends forced by link loss
 	Out         []int64 // per-output-wire emissions
 }
 
@@ -107,6 +116,7 @@ type Sim struct {
 	latencies []float64
 	completed int
 	lastDone  float64
+	resends   int
 }
 
 // New builds a simulation.
@@ -119,6 +129,12 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if cfg.Nodes < 1 || cfg.ServiceTime <= 0 || cfg.ArrivalRate <= 0 || cfg.Tokens < 1 {
 		return nil, fmt.Errorf("sim: need Nodes>=1, ServiceTime>0, ArrivalRate>0, Tokens>=1")
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return nil, fmt.Errorf("sim: DropRate %v outside [0, 1)", cfg.DropRate)
+	}
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = 4 * cfg.LinkDelay
 	}
 	s := &Sim{
 		cfg:   cfg,
@@ -225,9 +241,20 @@ func (s *Sim) processAt(tok *token, comp tree.Component) {
 			wire = cin
 		}
 		next := target
-		s.schedule(s.now+s.cfg.LinkDelay, func() { s.arriveAtComp(tok, next) })
+		s.schedule(s.now+s.linkTime(), func() { s.arriveAtComp(tok, next) })
 		return
 	}
+}
+
+// linkTime is the delivery time of one inter-component message: the link
+// delay, plus one retry timeout per lost attempt.
+func (s *Sim) linkTime() float64 {
+	d := s.cfg.LinkDelay
+	for s.cfg.DropRate > 0 && s.rng.Float64() < s.cfg.DropRate {
+		s.resends++
+		d += s.cfg.RetryTimeout
+	}
+	return d
 }
 
 func (s *Sim) result() (Result, error) {
@@ -258,6 +285,7 @@ func (s *Sim) result() (Result, error) {
 		LatencyP50:  sorted[len(sorted)/2],
 		LatencyP99:  sorted[(len(sorted)*99)/100],
 		MaxNodeBusy: maxBusy,
+		Resends:     s.resends,
 		Out:         out,
 	}, nil
 }

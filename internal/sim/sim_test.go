@@ -167,3 +167,47 @@ func TestDeterministicRuns(t *testing.T) {
 		t.Fatalf("non-deterministic simulation: %+v vs %+v", r1, r2)
 	}
 }
+
+// TestLinkLossAddsLatencyNotLossage: with DropRate set, every token still
+// completes (retries, not losses), resends are counted, and latency rises
+// against the lossless baseline; a fixed seed keeps the run deterministic.
+func TestLinkLossAddsLatencyNotLossage(t *testing.T) {
+	cut, err := tree.UniformCut(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Width: 32, Cut: cut, Nodes: 8, ServiceTime: 1, LinkDelay: 0.3,
+		ArrivalRate: 1, Tokens: 300, Seed: 4,
+	}
+	run := func(cfg Config) Result {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	clean := run(base)
+	lossyCfg := base
+	lossyCfg.DropRate = 0.2
+	lossy := run(lossyCfg)
+	if clean.Resends != 0 {
+		t.Fatalf("lossless run resent %d messages", clean.Resends)
+	}
+	if lossy.Completed != base.Tokens || lossy.Resends == 0 {
+		t.Fatalf("lossy run: %+v", lossy)
+	}
+	if lossy.LatencyMean <= clean.LatencyMean {
+		t.Fatalf("loss did not cost latency: %.3f vs %.3f", lossy.LatencyMean, clean.LatencyMean)
+	}
+	if again := run(lossyCfg); again.Resends != lossy.Resends || again.Makespan != lossy.Makespan {
+		t.Fatalf("lossy run not deterministic: %+v vs %+v", again, lossy)
+	}
+	if _, err := New(Config{Width: 32, Nodes: 1, ServiceTime: 1, ArrivalRate: 1, Tokens: 1, DropRate: 1}); err == nil {
+		t.Fatal("DropRate 1 accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Net is the deterministic in-memory switch: Send looks up the destination
+// endpoint and runs its handler synchronously in the caller's goroutine.
+// Delivery is reliable and instantaneous, so the default fabric adds no
+// nondeterminism to anything built on it.
+//
+// When dedup is enabled (it is off on the ideal fabric, where every logical
+// call is sent exactly once, and switched on by Faulty), each endpoint
+// remembers the reply for every request ID it has executed: a retry or a
+// network duplicate of an already-executed request returns the cached reply
+// without re-running the handler. This is the receiver half of at-most-once
+// delivery; the in-flight window (a duplicate arriving while the original
+// is still executing) blocks until the original's reply is ready.
+type Net struct {
+	mu    sync.RWMutex
+	eps   map[Addr]*endpoint
+	dedup bool
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dedupHits atomic.Uint64
+}
+
+// endpoint is one bound address.
+type endpoint struct {
+	h Handler
+
+	mu    sync.Mutex
+	calls map[uint64]*call // by request ID; nil until dedup is enabled
+}
+
+// call is one executed (or executing) request.
+type call struct {
+	done  chan struct{}
+	reply any
+	err   error
+}
+
+// NewMem creates an empty in-memory switch.
+func NewMem() *Net {
+	return &Net{eps: make(map[Addr]*endpoint)}
+}
+
+// EnableDedup switches on receiver-side at-most-once dedup for all current
+// and future endpoints. Faulty calls this on its inner fabric; the ideal
+// fabric leaves it off so reliable single-shot traffic costs no memory.
+func (n *Net) EnableDedup() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dedup = true
+	for _, ep := range n.eps {
+		ep.mu.Lock()
+		if ep.calls == nil {
+			ep.calls = make(map[uint64]*call)
+		}
+		ep.mu.Unlock()
+	}
+}
+
+// Bind implements Transport.
+func (n *Net) Bind(a Addr, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("transport: nil handler for %q", a)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.eps[a]; ok {
+		return fmt.Errorf("transport: address %q already bound", a)
+	}
+	ep := &endpoint{h: h}
+	if n.dedup {
+		ep.calls = make(map[uint64]*call)
+	}
+	n.eps[a] = ep
+	return nil
+}
+
+// Unbind implements Transport.
+func (n *Net) Unbind(a Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, a)
+}
+
+// Send implements Transport. On the ideal fabric the timeout is never
+// exercised: the handler runs inline and its reply returns immediately.
+func (n *Net) Send(req Request, timeout time.Duration) (any, error) {
+	n.sent.Add(1)
+	n.mu.RLock()
+	ep := n.eps[req.To]
+	n.mu.RUnlock()
+	if ep == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnreachable, req.To)
+	}
+
+	ep.mu.Lock()
+	if ep.calls == nil {
+		// Dedup off: execute directly.
+		ep.mu.Unlock()
+		n.delivered.Add(1)
+		return ep.h(req)
+	}
+	if c, ok := ep.calls[req.ID]; ok {
+		// Duplicate: wait for the original execution and reuse its reply.
+		ep.mu.Unlock()
+		n.dedupHits.Add(1)
+		<-c.done
+		return c.reply, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	ep.calls[req.ID] = c
+	ep.mu.Unlock()
+
+	n.delivered.Add(1)
+	c.reply, c.err = ep.h(req)
+	close(c.done)
+	return c.reply, c.err
+}
+
+// Stats implements Transport.
+func (n *Net) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Load(),
+		Delivered: n.delivered.Load(),
+		DedupHits: n.dedupHits.Load(),
+	}
+}

@@ -1,0 +1,103 @@
+// Package transport is the message-level fabric the simulated system runs
+// on: Chord finger/probe RPCs, dist token hops and the freeze/drain control
+// messages all travel as request/response messages through a Transport.
+//
+// Three layers compose:
+//
+//   - Net, a deterministic in-memory switch: endpoints bind handlers to
+//     addresses, Send delivers synchronously and reliably. This is the
+//     default fabric, so everything built on it stays exactly as
+//     reproducible as direct function calls.
+//   - Faulty, a fault-injection wrapper: seeded latency jitter, message
+//     drops (request and reply legs independently), duplication,
+//     reordering and pairwise partitions. A dropped leg surfaces as
+//     ErrTimeout after the caller's deadline.
+//   - Client, the reliability layer: per-call message IDs, per-attempt
+//     timeouts and capped exponential backoff retries. Together with the
+//     receiver-side dedup cache (enabled by Faulty) this gives at-most-once
+//     handler execution with at-least-once delivery attempts — the
+//     combination that keeps counting exact under message loss (E24).
+//
+// The design follows the pluggable in-memory transport idiom of gossip
+// implementations (e.g. brahms' MemNetTransport): tests and experiments
+// drive the same code paths a real network stack would, with faults under
+// deterministic seeded control.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Addr is a transport endpoint address. Conventional namespaces: "n:<id>"
+// for overlay nodes, "c:<path>" for live components, "t:<id>" for in-flight
+// tokens, "ctl" for reconfiguration coordinators.
+type Addr string
+
+// Request is one transport-level message: a request that expects a reply.
+type Request struct {
+	// ID identifies the logical call. Retries and network duplicates reuse
+	// the ID, which is what receiver-side dedup keys on.
+	ID   uint64
+	From Addr
+	To   Addr
+	// Kind is the application-level message discriminator ("arrive",
+	// "freeze", "cpf", ...).
+	Kind string
+	// Body is the request payload (in-memory transport: passed by value).
+	Body any
+}
+
+// Handler serves requests addressed to one endpoint. The returned value is
+// the reply payload; a returned error is an application error, delivered to
+// the caller without retries (the request WAS delivered).
+type Handler func(req Request) (any, error)
+
+// Transport moves requests between endpoints.
+type Transport interface {
+	// Bind registers the handler for an address. Binding an already-bound
+	// address is an error.
+	Bind(a Addr, h Handler) error
+	// Unbind removes an endpoint (and its dedup state).
+	Unbind(a Addr)
+	// Send delivers req to the endpoint bound at req.To and returns its
+	// reply. timeout bounds the wait: a transport that loses or delays the
+	// request or the reply returns ErrTimeout once the deadline passes.
+	Send(req Request, timeout time.Duration) (any, error)
+	// Stats returns a snapshot of the per-message counters.
+	Stats() Stats
+}
+
+// ErrTimeout is returned by Send when no reply arrived within the deadline
+// (the request or the reply was lost or excessively delayed).
+var ErrTimeout = errors.New("transport: timed out waiting for reply")
+
+// ErrUnreachable is returned by Send when no endpoint is bound at the
+// destination. It is not retried by Client: the caller should re-resolve
+// the address instead.
+var ErrUnreachable = errors.New("transport: no endpoint bound at destination")
+
+// Stats are cumulative per-message counters. Latency percentiles over the
+// delivered-message samples are exposed separately (see Faulty.Latencies).
+type Stats struct {
+	Sent       uint64 // Send calls accepted (one per attempt, not per logical call)
+	Delivered  uint64 // handler executions
+	DedupHits  uint64 // arrivals answered from the dedup cache (handler not re-run)
+	Dropped    uint64 // request or reply legs lost by fault injection
+	Duplicated uint64 // extra deliveries injected by fault injection
+	Reordered  uint64 // messages given an extra reordering delay
+	Partitions uint64 // sends refused because the endpoint pair is partitioned
+}
+
+// Add returns the field-wise sum of two stats snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Sent:       s.Sent + o.Sent,
+		Delivered:  s.Delivered + o.Delivered,
+		DedupHits:  s.DedupHits + o.DedupHits,
+		Dropped:    s.Dropped + o.Dropped,
+		Duplicated: s.Duplicated + o.Duplicated,
+		Reordered:  s.Reordered + o.Reordered,
+		Partitions: s.Partitions + o.Partitions,
+	}
+}

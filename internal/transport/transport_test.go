@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMemBasics(t *testing.T) {
+	n := NewMem()
+	if err := n.Bind("a", func(req Request) (any, error) {
+		return fmt.Sprintf("%s/%v", req.Kind, req.Body), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Bind("a", func(Request) (any, error) { return nil, nil }); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	reply, err := n.Send(Request{ID: 1, From: "x", To: "a", Kind: "k", Body: 7}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "k/7" {
+		t.Fatalf("reply = %v", reply)
+	}
+	if _, err := n.Send(Request{ID: 2, To: "nope"}, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	n.Unbind("a")
+	if _, err := n.Send(Request{ID: 3, To: "a"}, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err after unbind = %v, want ErrUnreachable", err)
+	}
+	st := n.Stats()
+	if st.Sent != 3 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMemAppErrorPassthrough(t *testing.T) {
+	n := NewMem()
+	appErr := errors.New("boom")
+	if err := n.Bind("a", func(Request) (any, error) { return nil, appErr }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send(Request{ID: 1, To: "a"}, time.Second); !errors.Is(err, appErr) {
+		t.Fatalf("err = %v, want app error", err)
+	}
+	// The client must not retry application errors.
+	c := NewClient(n, RetryConfig{})
+	if _, err := c.Call("x", "a", "k", nil); !errors.Is(err, appErr) {
+		t.Fatalf("client err = %v, want app error", err)
+	}
+	if st := c.Stats(); st.Retries != 0 || st.Failures != 0 {
+		t.Fatalf("client stats = %+v, want no retries", st)
+	}
+}
+
+func TestMemDedup(t *testing.T) {
+	n := NewMem()
+	var runs atomic.Int64
+	if err := n.Bind("a", func(Request) (any, error) {
+		return runs.Add(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.EnableDedup()
+	r1, err := n.Send(Request{ID: 42, To: "a"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := n.Send(Request{ID: 42, To: "a"}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", runs.Load())
+	}
+	if r1 != r2 {
+		t.Fatalf("duplicate reply %v != original %v", r2, r1)
+	}
+	if st := n.Stats(); st.DedupHits != 1 {
+		t.Fatalf("stats = %+v, want 1 dedup hit", st)
+	}
+	// A different ID executes again.
+	if _, err := n.Send(Request{ID: 43, To: "a"}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("handler ran %d times, want 2", runs.Load())
+	}
+}
+
+func TestFaultyDropTimesOutAndClientRetries(t *testing.T) {
+	mem := NewMem()
+	var runs atomic.Int64
+	if err := mem.Bind("a", func(Request) (any, error) { return runs.Add(1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(mem, FaultConfig{Seed: 1, DropRate: 1})
+	if _, err := f.Send(Request{ID: 1, To: "a"}, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	c := NewClient(f, RetryConfig{Timeout: time.Millisecond, MaxRetries: 2, Backoff: 100 * time.Microsecond})
+	if _, err := c.Call("x", "a", "k", nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("call err = %v, want wrapped ErrTimeout", err)
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Failures != 1 || st.Timeouts != 3 {
+		t.Fatalf("client stats = %+v", st)
+	}
+	if runs.Load() != 0 {
+		t.Fatal("handler ran despite total loss")
+	}
+}
+
+func TestAtMostOnceUnderLossAndDuplication(t *testing.T) {
+	mem := NewMem()
+	var runs atomic.Int64
+	if err := mem.Bind("ctr", func(Request) (any, error) { return runs.Add(1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(mem, FaultConfig{
+		Seed: 7, DropRate: 0.25, DupRate: 0.5,
+		LatencyBase: 5 * time.Microsecond, LatencyJitter: 20 * time.Microsecond,
+	})
+	c := NewClient(f, RetryConfig{Timeout: time.Millisecond, MaxRetries: 16, Backoff: 50 * time.Microsecond})
+
+	const calls = 60
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls/4; i++ {
+				if _, err := c.Call("x", "ctr", "inc", nil); err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Dup goroutines may still be in flight; give them a beat.
+	time.Sleep(5 * time.Millisecond)
+	if failed.Load() != 0 {
+		t.Fatalf("%d calls exhausted retries (loss too aggressive for budget?)", failed.Load())
+	}
+	if runs.Load() != calls {
+		t.Fatalf("handler ran %d times for %d logical calls (at-most-once violated)", runs.Load(), calls)
+	}
+	st := f.Stats()
+	if st.Dropped == 0 || st.Duplicated == 0 || st.DedupHits == 0 {
+		t.Fatalf("faults not exercised: %+v", st)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	mem := NewMem()
+	if err := mem.Bind("b", func(Request) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFaulty(mem, FaultConfig{Seed: 1})
+	f.Partition("a", "b")
+	if _, err := f.Send(Request{ID: 1, From: "a", To: "b"}, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned send err = %v, want ErrTimeout", err)
+	}
+	// The partition is pairwise: other sources still get through.
+	if _, err := f.Send(Request{ID: 2, From: "c", To: "b"}, time.Millisecond); err != nil {
+		t.Fatalf("unrelated pair blocked: %v", err)
+	}
+	f.Heal("b", "a") // order-insensitive
+	if _, err := f.Send(Request{ID: 3, From: "a", To: "b"}, time.Millisecond); err != nil {
+		t.Fatalf("healed send err = %v", err)
+	}
+	if st := f.Stats(); st.Partitions != 1 {
+		t.Fatalf("stats = %+v, want 1 partition refusal", st)
+	}
+}
+
+func TestFaultyLatencyInjection(t *testing.T) {
+	mem := NewMem()
+	if err := mem.Bind("a", func(Request) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	base, jitter := 200*time.Microsecond, 100*time.Microsecond
+	f := NewFaulty(mem, FaultConfig{Seed: 3, LatencyBase: base, LatencyJitter: jitter})
+	start := time.Now()
+	if _, err := f.Send(Request{ID: 1, To: "a"}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*base {
+		t.Fatalf("round trip %v faster than two latency legs %v", rtt, 2*base)
+	}
+	lats := f.Latencies()
+	if len(lats) != 1 || lats[0] < (2*base).Seconds() {
+		t.Fatalf("latency samples = %v", lats)
+	}
+}
+
+// TestFaultDecisionsDeterministic: with a fixed seed and sequential sends,
+// the injected fault sequence is reproducible.
+func TestFaultDecisionsDeterministic(t *testing.T) {
+	run := func() Stats {
+		mem := NewMem()
+		if err := mem.Bind("a", func(Request) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+		f := NewFaulty(mem, FaultConfig{Seed: 11, DropRate: 0.3, DupRate: 0.2,
+			ReorderRate: 0.2, LatencyJitter: 2 * time.Microsecond})
+		for i := 0; i < 50; i++ {
+			_, _ = f.Send(Request{ID: uint64(i), To: "a"}, 50*time.Microsecond)
+		}
+		st := f.Stats()
+		st.Delivered, st.DedupHits = 0, 0 // async duplicates race the snapshot
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("fault sequences differ: %+v vs %+v", a, b)
+	}
+	if a.Dropped == 0 || a.Duplicated == 0 || a.Reordered == 0 {
+		t.Fatalf("faults not exercised: %+v", a)
+	}
+}
+
+func TestClientBackoffCap(t *testing.T) {
+	cfg := RetryConfig{Timeout: time.Millisecond, MaxRetries: 3,
+		Backoff: 100 * time.Microsecond, BackoffCap: 150 * time.Microsecond}.withDefaults()
+	if cfg.BackoffCap != 150*time.Microsecond {
+		t.Fatalf("cap clobbered: %+v", cfg)
+	}
+	// A cap below the initial backoff is raised to it.
+	cfg = RetryConfig{Backoff: time.Millisecond, BackoffCap: time.Microsecond}.withDefaults()
+	if cfg.BackoffCap != time.Millisecond {
+		t.Fatalf("cap not raised to backoff: %+v", cfg)
+	}
+}
