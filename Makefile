@@ -1,11 +1,11 @@
 GO ?= go
 # Packages with real concurrency (goroutine tokens, shared fabrics, rings)
 # get a second pass under the race detector.
-RACE_PKGS = ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/match/... .
+RACE_PKGS = ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench benchsmoke
 
-check: fmt vet build test race
+check: fmt vet build test race benchsmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,3 +25,8 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# One iteration of every benchmark in the repo: catches benchmarks that no
+# longer compile or crash without paying for real measurement runs.
+benchsmoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -40,6 +40,7 @@ import (
 	"repro/internal/cutnet"
 	"repro/internal/dist"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/tree"
@@ -59,6 +60,23 @@ type TokenTrace = core.TokenTrace
 
 // Metrics are the Network's cumulative protocol counters.
 type Metrics = core.Metrics
+
+// ObsRegistry is a registry of named counters, gauges and latency/hop
+// histograms. Pass one in Config.Obs (or to Cluster.Instrument) to collect
+// cross-layer distributions; export with WriteTable, WriteJSON,
+// PublishExpvar or the /metrics + pprof HTTP Handler.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// Tracer samples per-token trace spans (see Config.TraceEvery and
+// Cluster.Trace); Span is one sampled token journey.
+type Tracer = obs.Tracer
+
+// Span is one traced token journey: every component visited, wire hop, DHT
+// lookup, retry and queue/drain wait, with offsets from injection.
+type Span = obs.Span
 
 // New creates an adaptive counting network of the given width; the whole
 // BITONIC[w] starts as one component on a single node.

@@ -198,3 +198,20 @@ func BenchmarkE22AdaptivityAxes(b *testing.B) { benchExperiment(b, "E22") }
 func BenchmarkE23Saturation(b *testing.B) { benchExperiment(b, "E23") }
 
 func BenchmarkE24FaultyTransport(b *testing.B) { benchExperiment(b, "E24") }
+
+// BenchmarkE25Observability prints its table unconditionally (not just
+// under -v): the lookup hop-count distribution and per-token latency
+// percentiles across N are the observability layer's acceptance output.
+func BenchmarkE25Observability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run("E25", experiments.Options{Seed: 1, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if _, err := t.WriteTo(os.Stdout); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
 # ci.sh — the repository's verification gate, equivalent to `make check`
-# for environments without make: formatting, vet, build, full tests, and a
-# race-detector pass over the concurrent packages.
+# for environments without make: formatting, vet, build, full tests, a
+# race-detector pass over the concurrent packages, and a one-iteration
+# benchmark smoke pass.
 set -eu
 cd "$(dirname "$0")"
 
@@ -23,6 +24,9 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/match/... .
+go test -race ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -bench . -benchtime 1x -run '^$' ./...
 
 echo "OK"

@@ -1,4 +1,4 @@
-// Command acnbench runs the reproduction experiments (E1..E24, indexed in
+// Command acnbench runs the reproduction experiments (E1..E25, indexed in
 // DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
 // output.
 //
@@ -8,15 +8,25 @@
 //	acnbench -run E11,E15    # run selected experiments
 //	acnbench -quick          # smaller sweeps
 //	acnbench -seed 7         # different deterministic seed
+//	acnbench -http :8080     # also serve /metrics, /debug/vars, /debug/pprof
+//
+// With -http, harness-level metrics (experiments completed, per-experiment
+// wall time) are served for the duration of the run, alongside the expvar
+// and pprof endpoints — attach a profiler to a long sweep by pointing it at
+// the printed address.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,13 +36,27 @@ func main() {
 	}
 }
 
+// serveMetrics exposes reg's export surface on addr (host:port; port 0
+// picks a free one) and returns the bound address. The server lives until
+// the process exits.
+func serveMetrics(addr string, reg *obs.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	reg.PublishExpvar("acnbench")
+	go func() { _ = http.Serve(ln, reg.Handler()) }()
+	return ln.Addr().String(), nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("acnbench", flag.ContinueOnError)
 	var (
-		runIDs = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed   = fs.Int64("seed", 1, "deterministic seed")
-		quick  = fs.Bool("quick", false, "smaller sweeps")
-		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		runIDs   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed     = fs.Int64("seed", 1, "deterministic seed")
+		quick    = fs.Bool("quick", false, "smaller sweeps")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		httpAddr = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,18 +67,36 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
-	if *runIDs == "" {
-		return experiments.RunAll(os.Stdout, opts)
-	}
-	for _, id := range strings.Split(*runIDs, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue
+
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		bound, err := serveMetrics(*httpAddr, reg)
+		if err != nil {
+			return err
 		}
+		fmt.Fprintf(os.Stderr, "acnbench: serving metrics on http://%s/metrics\n", bound)
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = ids[:0]
+		for _, id := range strings.Split(*runIDs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
 		t, err := experiments.Run(id, opts)
 		if err != nil {
 			return err
+		}
+		if reg != nil {
+			reg.Counter("experiments.completed").Inc()
+			reg.Histogram("experiment.seconds", 0, 120, 240).Observe(time.Since(start).Seconds())
 		}
 		if _, err := t.WriteTo(os.Stdout); err != nil {
 			return err

@@ -1,10 +1,12 @@
 // Command acnsim runs an interactive-scale scenario on the adaptive
 // counting network and narrates what the network does: growth, splits,
-// token routing costs, shrink, merges, crashes and repair.
-//
-// Usage:
+// token routing costs, shrink, merges, crashes and repair. The phase table
+// reports per-phase deltas of the structural and routing counters, and the
+// observability flags expose the full distributions:
 //
 //	acnsim -width 1024 -nodes 256 -tokens 2000 -seed 1
+//	acnsim -obs            # print the metrics registry (latency/hop histograms)
+//	acnsim -trace 64       # sample one token in 64; print example journeys
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -27,17 +30,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("acnsim", flag.ContinueOnError)
 	var (
-		width  = fs.Int("width", 1024, "network width w (power of two)")
-		nodes  = fs.Int("nodes", 128, "peak overlay size")
-		tokens = fs.Int("tokens", 2000, "tokens per phase")
-		seed   = fs.Int64("seed", 1, "deterministic seed")
-		show   = fs.Bool("show", false, "draw the component tree after growth")
+		width   = fs.Int("width", 1024, "network width w (power of two)")
+		nodes   = fs.Int("nodes", 128, "peak overlay size")
+		tokens  = fs.Int("tokens", 2000, "tokens per phase")
+		seed    = fs.Int64("seed", 1, "deterministic seed")
+		show    = fs.Bool("show", false, "draw the component tree after growth")
+		showObs = fs.Bool("obs", false, "collect and print the metrics registry (latency/hop histograms)")
+		trace   = fs.Int("trace", 0, "sample one token in N for span tracing (0 = off); prints example journeys")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	net, err := core.New(core.Config{Width: *width, Seed: *seed})
+	var reg *obs.Registry
+	if *showObs {
+		reg = obs.NewRegistry()
+	}
+	net, err := core.New(core.Config{Width: *width, Seed: *seed, Obs: reg, TraceEvery: *trace})
 	if err != nil {
 		return err
 	}
@@ -49,6 +58,10 @@ func run(args []string) error {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "phase\tnodes\tcomps\teff width\teff depth\tsplits\tmerges\trepairs\thops/token")
+	// The structural and routing columns are per-phase deltas: each report
+	// subtracts the previous snapshot, so a phase's row shows what that
+	// phase cost, not the run's running totals.
+	var prev core.Metrics
 	report := func(phase string) error {
 		ew, err := net.EffectiveWidth()
 		if err != nil {
@@ -59,13 +72,15 @@ func run(args []string) error {
 			return err
 		}
 		m := net.Metrics()
+		d := m.Sub(prev)
+		prev = m
 		hops := 0.0
-		if m.Tokens > 0 {
-			hops = float64(m.WireHops+m.LookupHops) / float64(m.Tokens)
+		if d.Tokens > 0 {
+			hops = float64(d.WireHops+d.LookupHops) / float64(d.Tokens)
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
 			phase, net.NumNodes(), net.NumComponents(), ew, ed,
-			m.Splits, m.Merges, m.Repairs, hops)
+			d.Splits, d.Merges, d.Repairs, hops)
 		return nil
 	}
 
@@ -116,5 +131,17 @@ func run(args []string) error {
 	fmt.Printf("\n%d tokens issued; step property and conservation verified.\n", m.Tokens)
 	fmt.Printf("protocol totals: %d splits, %d merges, %d moves, %d repairs, %d DHT lookups (%d hops)\n",
 		m.Splits, m.Merges, m.Moves, m.Repairs, m.NameLookups, m.LookupHops)
+	if reg != nil {
+		fmt.Println("\nmetrics registry:")
+		if err := reg.WriteTable(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if tr := net.Tracer(); tr != nil {
+		fmt.Printf("\ntraced %d of %d tokens; last sampled journeys:\n", tr.Sampled(), tr.Started())
+		if err := tr.WriteSpans(os.Stdout, 3); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -16,6 +16,13 @@ func TestRunWithShow(t *testing.T) {
 	}
 }
 
+func TestRunWithObservability(t *testing.T) {
+	if err := run([]string{"-width", "32", "-nodes", "8", "-tokens", "50",
+		"-obs", "-trace", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunBadWidth(t *testing.T) {
 	if err := run([]string{"-width", "7"}); err == nil {
 		t.Fatal("invalid width accepted")

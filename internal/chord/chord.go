@@ -27,7 +27,9 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -45,6 +47,26 @@ type Ring struct {
 
 	tr transport.Transport
 	rc *transport.Client
+
+	// Observability handles (nil when uninstrumented); set by Instrument
+	// under mu and read under mu's read lock in Lookup.
+	obsHops *obs.Hist // per-lookup overlay hop counts
+	obsLat  *obs.Hist // per-lookup wall seconds
+}
+
+// Instrument routes the ring's lookup distributions — the empirical
+// O(log N) hop-count histogram of Section 3.5 and per-lookup latency —
+// plus its reliability client's RTT/backoff distributions into reg. Call
+// it before issuing lookups; instrumenting mid-traffic is racy.
+func (r *Ring) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	r.obsHops = reg.Histogram("chord.lookup.hops", 0, 64, 64)
+	r.obsLat = reg.Histogram("chord.lookup.seconds", 0, 0.05, 500)
+	r.mu.Unlock()
+	r.rc.Instrument(reg)
 }
 
 // NewRing creates an empty ring whose node identifiers are drawn from the
@@ -279,9 +301,14 @@ func (r *Ring) Lookup(from NodeID, key NodeID) (owner NodeID, hops int, err erro
 	}
 	target, terr := r.successorLocked(key)
 	bound := 2*len(r.ids) + 64
+	obsHops, obsLat := r.obsHops, r.obsLat
 	r.mu.RUnlock()
 	if terr != nil {
 		return 0, 0, terr
+	}
+	var start time.Time
+	if obsLat != nil {
+		start = time.Now()
 	}
 	cur := from
 	for cur != target {
@@ -304,6 +331,8 @@ func (r *Ring) Lookup(from NodeID, key NodeID) (owner NodeID, hops int, err erro
 			return 0, 0, fmt.Errorf("chord: lookup for %d from %d did not converge", key, from)
 		}
 	}
+	obsHops.Observe(float64(hops))
+	obsLat.Since(start)
 	return target, hops, nil
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestJoinUniqueSorted(t *testing.T) {
@@ -264,4 +266,35 @@ func TestConcurrentAccess(t *testing.T) {
 		}(int64(g))
 	}
 	wg.Wait()
+}
+
+func TestLookupInstrumented(t *testing.T) {
+	r := NewRing(9)
+	ids := r.JoinN(64)
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	lookups := 0
+	for i, from := range ids {
+		if _, _, err := r.Lookup(from, ids[(i*7+3)%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+		lookups++
+	}
+	snap := reg.Snapshot()
+	hops := snap.Histograms["chord.lookup.hops"]
+	if hops.Count != lookups {
+		t.Fatalf("hop samples = %d, want %d", hops.Count, lookups)
+	}
+	// 64 nodes: mean hops should be O(log n), certainly below log2(64)+2.
+	if hops.Mean > 8 {
+		t.Fatalf("mean lookup hops %.2f implausibly high for 64 nodes", hops.Mean)
+	}
+	lat := snap.Histograms["chord.lookup.seconds"]
+	if lat.Count != lookups {
+		t.Fatalf("latency samples = %d, want %d", lat.Count, lookups)
+	}
+	// The client's call RTTs ride along via rc.Instrument.
+	if snap.Histograms["transport.call.seconds"].Count == 0 {
+		t.Fatal("ring did not instrument its transport client")
+	}
 }

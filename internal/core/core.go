@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/chord"
 	"repro/internal/component"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/tree"
 )
@@ -61,6 +62,20 @@ type Config struct {
 	// Retry shapes the reliability client for those RPCs; zero fields take
 	// the transport package defaults.
 	Retry transport.RetryConfig
+	// Obs, if non-nil, receives latency and hop-count distributions from
+	// every layer: per-token end-to-end seconds, wire hops, lookups, entry
+	// tries, split/merge/repair timing, plus the chord ring's lookup
+	// histograms and the transport client's RTT/retry distributions. Nil
+	// disables distribution collection (the counters in Metrics are always
+	// on); the disabled path costs one pointer test per site.
+	Obs *obs.Registry
+	// TraceEvery enables per-token trace spans, sampling one token in
+	// TraceEvery (1 = trace every token). Zero disables tracing. Finished
+	// spans are kept in a bounded ring readable via Tracer().
+	TraceEvery int
+	// TraceRetain bounds how many finished spans the tracer keeps (zero
+	// means 64).
+	TraceRetain int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +113,31 @@ type Metrics struct {
 	MsgsDeduped uint64 // duplicate deliveries absorbed by receiver dedup
 }
 
+// Sub returns the field-wise difference m - prev: the activity between two
+// Metrics snapshots of the same network. Taking prev before a phase and
+// subtracting it after isolates the phase's costs from the cumulative
+// totals (per-phase amortized costs, steady-state vs. convergence splits).
+func (m Metrics) Sub(prev Metrics) Metrics {
+	return Metrics{
+		Tokens:       m.Tokens - prev.Tokens,
+		Splits:       m.Splits - prev.Splits,
+		Merges:       m.Merges - prev.Merges,
+		WireHops:     m.WireHops - prev.WireHops,
+		NameLookups:  m.NameLookups - prev.NameLookups,
+		LookupHops:   m.LookupHops - prev.LookupHops,
+		EntryTries:   m.EntryTries - prev.EntryTries,
+		CacheHits:    m.CacheHits - prev.CacheHits,
+		CacheMisses:  m.CacheMisses - prev.CacheMisses,
+		Moves:        m.Moves - prev.Moves,
+		Repairs:      m.Repairs - prev.Repairs,
+		MaintainRuns: m.MaintainRuns - prev.MaintainRuns,
+		MsgsSent:     m.MsgsSent - prev.MsgsSent,
+		MsgsDropped:  m.MsgsDropped - prev.MsgsDropped,
+		MsgsRetried:  m.MsgsRetried - prev.MsgsRetried,
+		MsgsDeduped:  m.MsgsDeduped - prev.MsgsDeduped,
+	}
+}
+
 // liveComp is a component currently in the network.
 type liveComp struct {
 	st   *component.State
@@ -122,6 +162,17 @@ type nodeInfo struct {
 type Network struct {
 	cfg  Config
 	ring *chord.Ring
+
+	// Observability handles, fixed at construction (nil when cfg.Obs is
+	// nil); safe to read without the lock.
+	tracer   *obs.Tracer
+	hTokE2E  *obs.Hist // per-token injection-to-exit seconds
+	hTokWire *obs.Hist // per-token wire hops (components traversed)
+	hTokLook *obs.Hist // per-token DHT lookups
+	hTokTry  *obs.Hist // per-token entry tries
+	hSplit   *obs.Hist // per-split seconds
+	hMerge   *obs.Hist // per-merge seconds
+	hRepair  *obs.Hist // per-component repair seconds
 
 	mu       sync.RWMutex
 	rng      *rand.Rand
@@ -158,6 +209,19 @@ func New(cfg Config) (*Network, error) {
 		lost:     make(map[tree.Path]bool),
 		injected: make([]uint64, cfg.Width),
 		out:      make([]uint64, cfg.Width),
+	}
+	if reg := cfg.Obs; reg != nil {
+		n.ring.Instrument(reg)
+		n.hTokE2E = reg.Histogram("core.token.seconds", 0, 0.01, 1000)
+		n.hTokWire = reg.Histogram("core.token.wirehops", 0, 128, 128)
+		n.hTokLook = reg.Histogram("core.token.lookups", 0, 64, 64)
+		n.hTokTry = reg.Histogram("core.token.entrytries", 0, 32, 32)
+		n.hSplit = reg.Histogram("core.split.seconds", 0, 0.01, 200)
+		n.hMerge = reg.Histogram("core.merge.seconds", 0, 0.01, 200)
+		n.hRepair = reg.Histogram("core.repair.seconds", 0, 0.01, 200)
+	}
+	if cfg.TraceEvery > 0 {
+		n.tracer = obs.NewTracer(cfg.TraceEvery, cfg.TraceRetain)
 	}
 	for i := 0; i < cfg.InitialNodes; i++ {
 		id := n.ring.Join()
@@ -200,6 +264,10 @@ func (n *Network) Metrics() Metrics {
 
 // Nodes returns the current overlay node identifiers.
 func (n *Network) Nodes() []chord.NodeID { return n.ring.Nodes() }
+
+// Tracer returns the per-token span sampler, or nil when cfg.TraceEvery
+// was zero. All Tracer methods are nil-safe.
+func (n *Network) Tracer() *obs.Tracer { return n.tracer }
 
 // placeLocked inserts a component on a host.
 func (n *Network) placeLocked(p tree.Path, st *component.State, host chord.NodeID) {

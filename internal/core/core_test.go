@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/estimate"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -650,4 +651,115 @@ func TestClientReattachesAfterAccessPointLeaves(t *testing.T) {
 		t.Fatal(err)
 	}
 	injectSeq(t, c, 10, 10)
+}
+
+func TestMetricsSub(t *testing.T) {
+	n := mustNew(t, Config{Width: 8, Seed: 1, InitialNodes: 8})
+	if _, err := n.MaintainToFixpoint(32); err != nil {
+		t.Fatal(err)
+	}
+	c := mustClient(t, n)
+	before := n.Metrics()
+	injectSeq(t, c, 0, 20)
+	delta := n.Metrics().Sub(before)
+	if delta.Tokens != 20 {
+		t.Fatalf("delta.Tokens = %d, want 20", delta.Tokens)
+	}
+	if delta.Splits != 0 || delta.MaintainRuns != 0 {
+		t.Fatalf("injection-only phase shows structural work: %+v", delta)
+	}
+	if delta.WireHops == 0 || delta.EntryTries == 0 {
+		t.Fatalf("injection-only phase shows no routing work: %+v", delta)
+	}
+	zero := n.Metrics().Sub(n.Metrics())
+	if zero != (Metrics{}) {
+		t.Fatalf("self-difference not zero: %+v", zero)
+	}
+}
+
+func TestObservabilityWiring(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := mustNew(t, Config{Width: 8, Seed: 2, InitialNodes: 8,
+		Obs: reg, TraceEvery: 1, TraceRetain: 16})
+	if _, err := n.MaintainToFixpoint(32); err != nil {
+		t.Fatal(err)
+	}
+	c := mustClient(t, n)
+	injectSeq(t, c, 0, 30)
+
+	snap := reg.Snapshot()
+	m := n.Metrics()
+	for name, want := range map[string]int{
+		"core.token.seconds":    int(m.Tokens),
+		"core.token.wirehops":   int(m.Tokens),
+		"core.token.lookups":    int(m.Tokens),
+		"core.token.entrytries": int(m.Tokens),
+		"chord.lookup.hops":     0, // just present; count checked below
+	} {
+		h, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("histogram %q missing from registry", name)
+		}
+		if want > 0 && h.Count != want {
+			t.Fatalf("%s count = %d, want %d", name, h.Count, want)
+		}
+	}
+	// Aggregate consistency: the wire-hop histogram total equals the counter.
+	wh := snap.Histograms["core.token.wirehops"].Raw
+	if got := uint64(wh.Sum); got != m.WireHops {
+		t.Fatalf("wirehops histogram sum %d != metric %d", got, m.WireHops)
+	}
+	// Every lookup the network issued passed through the chord histogram
+	// (maintenance estimates don't issue lookups; tokens do).
+	if got := snap.Histograms["chord.lookup.hops"].Count; uint64(got) != m.NameLookups {
+		t.Fatalf("chord hop samples %d != NameLookups %d", got, m.NameLookups)
+	}
+	if snap.Histograms["core.split.seconds"].Count == 0 {
+		t.Fatal("maintenance splits were not timed")
+	}
+
+	tr := n.Tracer()
+	if tr == nil {
+		t.Fatal("TraceEvery set but Tracer() is nil")
+	}
+	if tr.Sampled() != 30 {
+		t.Fatalf("sampled %d spans with TraceEvery=1 and 30 tokens", tr.Sampled())
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("retained %d spans, want TraceRetain=16", len(spans))
+	}
+	for _, s := range spans {
+		kinds := map[string]int{}
+		for _, e := range s.Events {
+			kinds[e.Kind]++
+		}
+		if kinds["entry-try"] == 0 || kinds["comp"] == 0 || kinds["exit"] != 1 {
+			t.Fatalf("span missing journey events: %v", kinds)
+		}
+		if kinds["lookup"] == 0 && kinds["cache-hit"] == 0 {
+			t.Fatalf("span shows neither lookups nor cache hits: %v", kinds)
+		}
+	}
+}
+
+func TestRepairTimingInstrumented(t *testing.T) {
+	reg := obs.NewRegistry()
+	n := mustNew(t, Config{Width: 8, Seed: 3, InitialNodes: 12, Obs: reg})
+	if _, err := n.MaintainToFixpoint(32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.CrashRandomNode(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Lost() == 0 {
+		t.Skip("crashed node hosted no components")
+	}
+	repaired, err := n.Stabilize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Histograms["core.repair.seconds"].Count; got != repaired {
+		t.Fatalf("repair timing samples = %d, want %d", got, repaired)
+	}
 }

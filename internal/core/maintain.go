@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/chord"
 	"repro/internal/component"
@@ -184,6 +185,10 @@ func (n *Network) coveredLocked(p tree.Path) bool {
 // initializing them from the component's cumulative per-input-wire counts
 // and mapping each child to the owner of its name.
 func (n *Network) splitLocked(p tree.Path) error {
+	var start time.Time
+	if n.hSplit != nil {
+		start = time.Now()
+	}
 	lc := n.comps[p]
 	if lc == nil {
 		return fmt.Errorf("core: split: no live component at %q", p)
@@ -216,6 +221,7 @@ func (n *Network) splitLocked(p tree.Path) error {
 		n.placeLocked(child.Path, component.NewWithTotal(child, totals[i]), host)
 	}
 	n.metrics.Splits++
+	n.hSplit.Since(start)
 	return nil
 }
 
@@ -223,6 +229,10 @@ func (n *Network) splitLocked(p tree.Path) error {
 // recursively merging children that are themselves split, and re-hosts the
 // merged component on the owner of its name.
 func (n *Network) mergeLocked(p tree.Path) error {
+	var start time.Time
+	if n.hMerge != nil {
+		start = time.Now()
+	}
 	if n.comps[p] != nil {
 		return fmt.Errorf("core: merge: %q is already live", p)
 	}
@@ -259,6 +269,7 @@ func (n *Network) mergeLocked(p tree.Path) error {
 	}
 	n.placeLocked(p, component.NewWithTotal(c, total), host)
 	n.metrics.Merges++
+	n.hMerge.Since(start)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/component"
 	"repro/internal/tree"
@@ -30,6 +31,10 @@ func (n *Network) Stabilize() (int, error) {
 		}
 		sort.Slice(paths, func(i, j int) bool { return paths[i] < paths[j] })
 		for _, p := range paths {
+			var begin time.Time
+			if n.hRepair != nil {
+				begin = time.Now()
+			}
 			c, err := tree.ComponentAt(n.cfg.Width, p)
 			if err != nil {
 				return repaired, err
@@ -52,6 +57,7 @@ func (n *Network) Stabilize() (int, error) {
 			n.placeLocked(p, component.NewWithTotal(c, total), host)
 			delete(n.lost, p)
 			n.metrics.Repairs++
+			n.hRepair.Since(begin)
 			repaired++
 			progress = true
 		}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/chord"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -75,8 +77,14 @@ func (c *Client) InjectAt(in int) (TokenTrace, error) {
 		c.at = at
 	}
 
+	sp := n.tracer.Start("token")
+	var start time.Time
+	if sp != nil || n.hTokE2E != nil {
+		start = time.Now()
+	}
+
 	var tr TokenTrace
-	entry, err := n.findEntryLocked(c, in, &tr)
+	entry, err := n.findEntryLocked(c, in, &tr, sp)
 	if err != nil {
 		return TokenTrace{}, err
 	}
@@ -94,7 +102,10 @@ func (c *Client) InjectAt(in int) (TokenTrace, error) {
 			host.tokens++
 		}
 		o := lc.st.Step()
-		next, exited, netOut, err := n.resolveNextLocked(lc, cur, o, &tr)
+		if sp != nil {
+			sp.Event("comp", string(cur.Path), int64(o))
+		}
+		next, exited, netOut, err := n.resolveNextLocked(lc, cur, o, &tr, sp)
 		if err != nil {
 			return TokenTrace{}, err
 		}
@@ -103,6 +114,16 @@ func (c *Client) InjectAt(in int) (TokenTrace, error) {
 			tr.Value = n.out[netOut]*uint64(n.cfg.Width) + uint64(netOut)
 			n.out[netOut]++
 			n.mergeTrace(tr)
+			if n.hTokE2E != nil {
+				n.hTokE2E.Observe(time.Since(start).Seconds())
+				n.hTokWire.Observe(float64(tr.WireHops))
+				n.hTokLook.Observe(float64(tr.NameLookups))
+				n.hTokTry.Observe(float64(tr.EntryTries))
+			}
+			if sp != nil {
+				sp.Event("exit", fmt.Sprintf("wire %d value %d", netOut, tr.Value), int64(tr.WireHops))
+				sp.Finish()
+			}
 			return tr, nil
 		}
 		cur = next
@@ -122,7 +143,7 @@ func (n *Network) mergeTrace(tr TokenTrace) {
 
 // lookupLocked meters one DHT lookup for a component name issued from
 // node at, and reports whether the component is live (and where).
-func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace) (chord.NodeID, bool, error) {
+func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace, sp *obs.Span) (chord.NodeID, bool, error) {
 	c, err := tree.ComponentAt(n.cfg.Width, p)
 	if err != nil {
 		return 0, false, err
@@ -133,6 +154,9 @@ func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace) (ch
 	}
 	tr.NameLookups++
 	tr.LookupHops += hops
+	if sp != nil {
+		sp.Event("lookup", string(p), int64(hops))
+	}
 	lc := n.comps[p]
 	if lc == nil {
 		return owner, false, nil
@@ -143,7 +167,7 @@ func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace) (ch
 // findEntryLocked locates the live input component covering input wire in
 // by trying names on the input balancer's ancestor chain (Section 3.5
 // bounds this by the chain length).
-func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace) (tree.Component, error) {
+func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace, sp *obs.Span) (tree.Component, error) {
 	// The input balancer for wire in is the leaf reached by descending the
 	// input maps from the root.
 	cur := tree.MustRoot(n.cfg.Width)
@@ -161,7 +185,10 @@ func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace) (tree.Compo
 
 	try := func(p tree.Path) (bool, error) {
 		tr.EntryTries++
-		_, live, err := n.lookupLocked(c.at, p, tr)
+		if sp != nil {
+			sp.Event("entry-try", string(p), 0)
+		}
+		_, live, err := n.lookupLocked(c.at, p, tr, sp)
 		if err != nil {
 			return false, err
 		}
@@ -222,7 +249,7 @@ func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace) (tree.Compo
 // candidate chain, finds a cached neighbor on it, and sends directly; a
 // stale entry bounces (metered as a cache miss) and triggers a fresh
 // resolution.
-func (n *Network) resolveNextLocked(lc *liveComp, cur tree.Component, o int, tr *TokenTrace) (next tree.Component, exited bool, netOut int, err error) {
+func (n *Network) resolveNextLocked(lc *liveComp, cur tree.Component, o int, tr *TokenTrace, sp *obs.Span) (next tree.Component, exited bool, netOut int, err error) {
 	node, wire := cur, o
 	for {
 		parent, idx, ok := node.Parent(n.cfg.Width)
@@ -239,13 +266,13 @@ func (n *Network) resolveNextLocked(lc *liveComp, cur tree.Component, o int, tr 
 			return tree.Component{}, false, 0, cerr
 		}
 		wire = d.ChildIn
-		return n.descendToLiveLocked(lc, target, wire, tr)
+		return n.descendToLiveLocked(lc, target, wire, tr, sp)
 	}
 }
 
 // descendToLiveLocked finds the live component covering (target, wire),
 // consulting the sender's neighbor cache before issuing DHT lookups.
-func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire int, tr *TokenTrace) (tree.Component, bool, int, error) {
+func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire int, tr *TokenTrace, sp *obs.Span) (tree.Component, bool, int, error) {
 	// Compute the candidate chain locally (free).
 	chain := []tree.Component{target}
 	cwire := wire
@@ -267,17 +294,23 @@ func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire 
 			}
 			if got := n.comps[cand.Path]; got != nil && got.host == host {
 				tr.CacheHits++
+				if sp != nil {
+					sp.Event("cache-hit", string(cand.Path), 0)
+				}
 				return cand, false, 0, nil
 			}
 			// Stale: the direct send bounces; re-resolve below.
 			tr.CacheMisses++
+			if sp != nil {
+				sp.Event("cache-miss", string(cand.Path), 0)
+			}
 			delete(lc.nbrs, cand.Path)
 		}
 	}
 
 	// Cold or stale: walk the chain with metered DHT lookups.
 	for _, cand := range chain {
-		host, live, err := n.lookupLocked(lc.host, cand.Path, tr)
+		host, live, err := n.lookupLocked(lc.host, cand.Path, tr, sp)
 		if err != nil {
 			return tree.Component{}, false, 0, err
 		}

@@ -41,10 +41,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/balancer"
 	"repro/internal/component"
 	"repro/internal/cutnet"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/tree"
 )
@@ -142,6 +144,17 @@ type Cluster struct {
 
 	gen    atomic.Uint64 // component incarnation counter (address suffix)
 	tokSeq atomic.Uint64 // token endpoint counter
+
+	// Observability handles (nil when uninstrumented). Instrument and
+	// Trace must be called before traffic or reconfigurations start; the
+	// handles are then read-only for the cluster's lifetime.
+	tracer *obs.Tracer
+	hTok   *obs.Hist // per-token injection-to-exit seconds
+	hHop   *obs.Hist // per-hop arrive RPC seconds
+	hQueue *obs.Hist // freeze-queue wait seconds (stored token until resume)
+	hDrain *obs.Hist // merge phase-2 drain-wait seconds
+	hSplit *obs.Hist // split reconfiguration seconds
+	hMerge *obs.Hist // merge reconfiguration seconds
 
 	// drainCh wakes a merge waiting for its assembly to drain; any arrive
 	// that processes a token signals it (capacity 1, lossy send): the
@@ -309,6 +322,35 @@ func (cl *Cluster) NetStats() (transport.Stats, transport.ClientStats) {
 	return cl.tr.Stats(), cl.rc.Stats()
 }
 
+// Instrument routes the engine's latency distributions — per-token and
+// per-hop seconds, freeze-queue and merge-drain waits, reconfiguration
+// timing — into reg, along with the reliability client's RTT and retry
+// distributions. Call it before issuing traffic; the handles are read
+// without synchronization afterwards.
+func (cl *Cluster) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cl.hTok = reg.Histogram("dist.token.seconds", 0, 0.05, 500)
+	cl.hHop = reg.Histogram("dist.hop.seconds", 0, 0.02, 400)
+	cl.hQueue = reg.Histogram("dist.queue.wait.seconds", 0, 0.05, 500)
+	cl.hDrain = reg.Histogram("dist.merge.drain.seconds", 0, 0.05, 500)
+	cl.hSplit = reg.Histogram("dist.split.seconds", 0, 0.05, 500)
+	cl.hMerge = reg.Histogram("dist.merge.seconds", 0, 0.05, 500)
+	cl.rc.Instrument(reg)
+}
+
+// Trace enables per-token span sampling: one token in every is traced, and
+// the last retain finished spans are kept (retain <= 0 means 64). Call it
+// before issuing traffic.
+func (cl *Cluster) Trace(every, retain int) *obs.Tracer {
+	cl.tracer = obs.NewTracer(every, retain)
+	return cl.tracer
+}
+
+// Tracer returns the span sampler, or nil when tracing is off.
+func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
+
 // tokenAddr is the endpoint of one in-flight token.
 func tokenAddr(seq uint64) transport.Addr {
 	return transport.Addr(fmt.Sprintf("t:%d", seq))
@@ -341,6 +383,12 @@ func (cl *Cluster) Inject(in int) (int, error) {
 	}
 	defer cl.tr.Unbind(tok)
 
+	sp := cl.tracer.Start("token")
+	var begin time.Time
+	if sp != nil || cl.hTok != nil {
+		begin = time.Now()
+	}
+
 	// The network input wire belongs to whatever live component covers the
 	// root's input descent; delivery re-resolves as needed.
 	path, wire := tree.Path(""), in
@@ -349,10 +397,15 @@ func (cl *Cluster) Inject(in int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		reply, err := cl.rc.Call(tok, cm.addr, kindArrive, arriveReq{Wire: rwire, Token: tok})
+		var hopStart time.Time
+		if cl.hHop != nil {
+			hopStart = time.Now()
+		}
+		reply, err := cl.rc.CallSpan(tok, cm.addr, kindArrive, arriveReq{Wire: rwire, Token: tok}, sp)
 		if err != nil {
 			return 0, fmt.Errorf("dist: arrive at %v: %w", cm.c, err)
 		}
+		cl.hHop.Since(hopStart)
 		res, ok := reply.(arriveRes)
 		if !ok {
 			return 0, fmt.Errorf("dist: arrive reply %T", reply)
@@ -361,12 +414,29 @@ func (cl *Cluster) Inject(in int) (int, error) {
 		case statusDead:
 			// The component was replaced between resolution and delivery;
 			// re-resolve against the current cut.
+			if sp != nil {
+				sp.Event("dead", string(cm.c.Path), int64(rwire))
+			}
 			path, wire = cm.c.Path, rwire
 			continue
 		case statusQueued:
+			if sp != nil {
+				sp.Event("queued", string(cm.c.Path), int64(rwire))
+			}
+			var qStart time.Time
+			if cl.hQueue != nil {
+				qStart = time.Now()
+			}
 			rt := <-resume
+			cl.hQueue.Since(qStart)
+			if sp != nil {
+				sp.Event("resume", string(rt.Path), int64(rt.Wire))
+			}
 			path, wire = rt.Path, rt.Wire
 			continue
+		}
+		if sp != nil {
+			sp.Event("hop", string(cm.c.Path), int64(res.Out))
 		}
 		next, exited, netOut, err := cl.resolveNext(cm.c, res.Out)
 		if err != nil {
@@ -376,6 +446,13 @@ func (cl *Cluster) Inject(in int) (int, error) {
 			cl.cmu.Lock()
 			cl.out[netOut]++
 			cl.cmu.Unlock()
+			if cl.hTok != nil {
+				cl.hTok.Observe(time.Since(begin).Seconds())
+			}
+			if sp != nil {
+				sp.Event("exit", "", int64(netOut))
+				sp.Finish()
+			}
 			return netOut, nil
 		}
 		path, wire = next.path, next.wire
@@ -523,6 +600,10 @@ func (cl *Cluster) ctl(cm *comp, kind string) (any, error) {
 func (cl *Cluster) Split(p tree.Path) error {
 	cl.reconfig.Lock()
 	defer cl.reconfig.Unlock()
+	var begin time.Time
+	if cl.hSplit != nil {
+		begin = time.Now()
+	}
 
 	cl.topo.RLock()
 	cm := cl.comps[p]
@@ -570,8 +651,11 @@ func (cl *Cluster) Split(p tree.Path) error {
 
 	// Kill the old incarnation; its stored tokens re-enter at (p, wire) and
 	// findLive descends into the children.
-	_, err = cl.ctl(cm, kindKill)
-	return err
+	if _, err := cl.ctl(cm, kindKill); err != nil {
+		return err
+	}
+	cl.hSplit.Since(begin)
+	return nil
 }
 
 // Merge reforms the component at p from its children while traffic flows,
@@ -583,6 +667,10 @@ func (cl *Cluster) Merge(p tree.Path) error {
 }
 
 func (cl *Cluster) mergeLocked(p tree.Path) error {
+	var begin time.Time
+	if cl.hMerge != nil {
+		begin = time.Now()
+	}
 	cl.topo.RLock()
 	if cl.comps[p] != nil {
 		cl.topo.RUnlock()
@@ -646,6 +734,10 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 	// totals are polled with control RPCs; between polls the coordinator
 	// blocks on drainCh, which every processed token signals — no
 	// busy-wait.
+	var drainStart time.Time
+	if cl.hDrain != nil {
+		drainStart = time.Now()
+	}
 	for {
 		totals := make([]uint64, deg)
 		totals[0], totals[1] = entrySnaps[0].Total, entrySnaps[1].Total
@@ -664,6 +756,7 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		// signal just costs one extra poll.
 		<-cl.drainCh
 	}
+	cl.hDrain.Since(drainStart)
 
 	// Phase 3: freeze the remaining (now idle) children and combine state.
 	totals := make([]uint64, deg)
@@ -708,6 +801,7 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 			return err
 		}
 	}
+	cl.hMerge.Since(begin)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/tree"
 )
@@ -407,5 +408,100 @@ func TestClusterEffectiveWidthDepth(t *testing.T) {
 	}
 	if ew != 8 || ed != 10 {
 		t.Fatalf("width/depth = %d/%d, want 8/10", ew, ed)
+	}
+}
+
+// TestInstrumentedUnderReconfig: the engine's histograms and token spans
+// capture hop latency, freeze-queue waits and reconfiguration timing while
+// traffic races a split and a merge.
+func TestInstrumentedUnderReconfig(t *testing.T) {
+	w := 8
+	cl, err := NewRootOnly(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cl.Instrument(reg)
+	tr := cl.Trace(1, 32)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Inject(rng.Intn(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	if err := cl.Split(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Merge(""); err != nil {
+		t.Fatal(err)
+	}
+	// Guarantee traffic regardless of goroutine scheduling.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 40; i++ {
+		if _, err := cl.Inject(rng.Intn(w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	tokens := int(cl.InCounts().Total())
+	if got := snap.Histograms["dist.token.seconds"].Count; got != tokens {
+		t.Fatalf("token latency samples = %d, want %d", got, tokens)
+	}
+	if snap.Histograms["dist.hop.seconds"].Count < tokens {
+		t.Fatalf("hop samples %d < tokens %d", snap.Histograms["dist.hop.seconds"].Count, tokens)
+	}
+	if got := snap.Histograms["dist.split.seconds"].Count; got != 1 {
+		t.Fatalf("split timing samples = %d, want 1", got)
+	}
+	// Merge("") recursively times each submerge; at least the top one fires.
+	if snap.Histograms["dist.merge.seconds"].Count == 0 ||
+		snap.Histograms["dist.merge.drain.seconds"].Count == 0 {
+		t.Fatal("merge or drain timing missing")
+	}
+	if snap.Histograms["transport.call.seconds"].Count == 0 {
+		t.Fatal("cluster did not instrument its reliability client")
+	}
+
+	if cl.Tracer() != tr {
+		t.Fatal("Tracer() accessor mismatch")
+	}
+	if tr.Sampled() != uint64(tokens) {
+		t.Fatalf("sampled %d spans, want every token (%d)", tr.Sampled(), tokens)
+	}
+	hops := 0
+	for _, s := range tr.Spans() {
+		for _, e := range s.Events {
+			switch e.Kind {
+			case "hop":
+				hops++
+			case "queued", "resume", "dead", "exit", "retry":
+			default:
+				t.Fatalf("unexpected event kind %q", e.Kind)
+			}
+		}
+	}
+	if hops == 0 {
+		t.Fatal("no hop events recorded")
 	}
 }

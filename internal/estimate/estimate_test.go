@@ -2,6 +2,8 @@ package estimate
 
 import (
 	"math"
+	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -211,5 +213,106 @@ func TestQuickEstimatePositive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestEstimateUnderConcurrentChurn races SizeEstimate against joins and
+// leaves in flight. Estimates from a node that departs mid-walk may error
+// ("not in ring"); that is acceptable — what must hold is that no estimate
+// from a still-present node is garbage (non-positive, infinite, NaN) and
+// that nothing panics or races (run with -race).
+func TestEstimateUnderConcurrentChurn(t *testing.T) {
+	r := chord.NewRing(31)
+	ids := r.JoinN(256)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Churner: interleave joins and graceful leaves.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(32))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.Join()
+				continue
+			}
+			nodes := r.Nodes()
+			if len(nodes) > 64 {
+				_ = r.Remove(nodes[rng.Intn(len(nodes))])
+			}
+		}
+	}()
+
+	// Estimators: sample random survivors of the initial population.
+	var estimators sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		estimators.Add(1)
+		go func(seed int64) {
+			defer estimators.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				v := ids[rng.Intn(len(ids))]
+				est, err := SizeEstimate(r, v, DefaultParams())
+				if err != nil {
+					continue // v (or a walk hop) left mid-estimate
+				}
+				if est.Size < 1 || math.IsInf(est.Size, 0) || math.IsNaN(est.Size) {
+					t.Errorf("estimate from node %d under churn is garbage: %+v", v, est)
+					return
+				}
+				if lv := Level(est.Size, 1<<16); lv < 0 || lv > tree.MaxLevel(1<<16) {
+					t.Errorf("level %d outside T_w under churn", lv)
+					return
+				}
+			}
+		}(int64(100 + g))
+	}
+	// Let the estimators finish under live churn, then stop the churner.
+	estimators.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestEstimateTracksDeterministicChurn grows then shrinks the ring in
+// deterministic steps and checks that surviving nodes' estimates follow the
+// true size within Lemma 3.2's factor-10 envelope at every plateau.
+func TestEstimateTracksDeterministicChurn(t *testing.T) {
+	r := chord.NewRing(33)
+	r.JoinN(64)
+	sizes := []int{64, 256, 1024, 256, 64}
+	for _, target := range sizes {
+		for r.Size() < target {
+			r.Join()
+		}
+		rng := rand.New(rand.NewSource(int64(target)))
+		for r.Size() > target {
+			nodes := r.Nodes()
+			if err := r.Remove(nodes[rng.Intn(len(nodes))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n := r.Size()
+		bad := 0
+		for _, v := range r.Nodes() {
+			est, err := SizeEstimate(r, v, DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Size < float64(n)/10 || est.Size > 10*float64(n) {
+				bad++
+			}
+		}
+		// Lemma 3.2 is a w.h.p. statement; at these sizes the fixed seeds
+		// keep every node inside the envelope, but tolerate a stray pair.
+		if bad > 2 {
+			t.Fatalf("plateau N=%d: %d nodes outside [N/10, 10N]", n, bad)
+		}
 	}
 }

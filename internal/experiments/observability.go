@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// E25Observability exercises the unified metrics layer end to end: a
+// converged network per system size N is built with an obs.Registry and
+// token tracing attached, a seeded token load is driven through it, and the
+// row reports the empirical lookup hop-count distribution (from the chord
+// layer's histogram) and per-token latency percentiles (from wall-clock
+// samples). The hop-count mean must stay O(log N) — the overlay cost that
+// Theorem 3.6's depth bound rides on — and the injection-phase deltas come
+// from Metrics.Sub so convergence-time maintenance does not pollute the
+// steady-state numbers.
+func E25Observability(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E25",
+		Title: "Token-level observability: lookup hops and latency percentiles",
+		Claim: "per-lookup overlay hop counts are O(log N) and the metrics layer captures full per-token distributions at bounded sampling cost",
+		Headers: []string{"N", "tokens", "hops mean", "hops p50", "hops p99",
+			"hops max", "mean/log2N", "lat p50 us", "lat p95 us", "lat p99 us",
+			"lookups/tok", "spans"},
+	}
+	const w = 1 << 10
+	sizes := []int{1 << 4, 1 << 6, 1 << 8, 1 << 10}
+	tokens := 1200
+	if opts.Quick {
+		tokens = 150
+	}
+
+	for _, n := range sizes {
+		reg := obs.NewRegistry()
+		net, err := core.New(core.Config{
+			Width: w, Seed: opts.Seed + int64(n), InitialNodes: n,
+			Obs: reg, TraceEvery: 32, TraceRetain: 64,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := net.MaintainToFixpoint(200); err != nil {
+			return nil, err
+		}
+		client, err := net.NewClient()
+		if err != nil {
+			return nil, err
+		}
+
+		// Convergence issued estimate probes and splits; snapshot so the
+		// row's per-token numbers cover the injection phase only.
+		pre := net.Metrics()
+		preHops := reg.Histogram("chord.lookup.hops", 0, 64, 64).Snapshot()
+
+		lats := make([]float64, 0, tokens)
+		for i := 0; i < tokens; i++ {
+			start := time.Now()
+			if _, err := client.Inject(); err != nil {
+				return nil, err
+			}
+			lats = append(lats, time.Since(start).Seconds())
+		}
+
+		delta := net.Metrics().Sub(pre)
+		hops := reg.Histogram("chord.lookup.hops", 0, 64, 64).Snapshot()
+		if err := hops.Merge(negate(preHops)); err != nil {
+			return nil, err
+		}
+
+		sort.Float64s(lats)
+		q := func(p float64) float64 { return lats[int(p*float64(len(lats)-1))] }
+		spans := net.Tracer().Sampled()
+		t.AddRow(n, delta.Tokens, hops.Mean(), hops.Quantile(0.5), hops.Quantile(0.99),
+			hops.Quantile(1), stats.Ratio(hops.Mean(), math.Log2(float64(n))),
+			q(0.50)*1e6, q(0.95)*1e6, q(0.99)*1e6,
+			stats.Ratio(float64(delta.NameLookups), float64(delta.Tokens)), spans)
+
+		if hops.Mean() > 3*math.Log2(float64(n))+2 {
+			t.Note("N=%d: mean lookup hops %.2f exceeds 3*log2(N)+2", n, hops.Mean())
+		}
+		if n == sizes[len(sizes)-1] {
+			t.Note("N=%d empirical lookup hop-count distribution (injection phase): %s",
+				n, hopBuckets(hops))
+		}
+	}
+	t.Note("hop counts come from the chord layer's registry histogram, latencies from per-token wall samples; spans = tokens sampled by the 1-in-32 tracer")
+	return t, nil
+}
+
+// negate returns a histogram whose counts are the negation of h, so that
+// Merge(negate(pre)) subtracts a baseline snapshot. Sum and the range
+// tallies negate along.
+func negate(h *stats.Histogram) *stats.Histogram {
+	o := h.Clone()
+	for i := range o.Buckets {
+		o.Buckets[i] = -o.Buckets[i]
+	}
+	o.Under, o.Over, o.NaN, o.Sum = -o.Under, -o.Over, -o.NaN, -o.Sum
+	return o
+}
+
+// hopBuckets renders the nonzero buckets of an integer-valued histogram as
+// "value:count" pairs.
+func hopBuckets(h *stats.Histogram) string {
+	out := ""
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		if out != "" {
+			out += " "
+		}
+		out += formatCell(int(h.Lo+float64(i)*width)) + ":" + formatCell(c)
+	}
+	return out
+}

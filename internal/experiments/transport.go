@@ -63,13 +63,18 @@ func E24FaultyTransport(opts Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Delta accounting: snapshot the cumulative counters around the
+			// injection phase so the row charges only injection traffic, not
+			// any setup or verification messaging.
+			preSt, preCs := cl.NetStats()
 			if err := injectConcurrently(cl, tokens, opts.Seed); err != nil {
 				return nil, err
 			}
+			postSt, postCs := cl.NetStats()
+			st, cs := postSt.Sub(preSt), postCs.Sub(preCs)
 
 			stepErr := cl.CheckStep()
 			conserved := cl.OutCounts().Total() == cl.InCounts().Total()
-			st, cs := cl.NetStats()
 			if cs.Failures > 0 {
 				t.Note("N=%d loss=%.0f%%: %d calls exhausted their retry budget", n, loss*100, cs.Failures)
 			}

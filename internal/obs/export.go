@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+)
+
+// HistSnapshot is the exported view of one histogram: counts plus derived
+// percentile summaries. Raw is the mergeable bucket snapshot.
+type HistSnapshot struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Under int     `json:"under,omitempty"`
+	Over  int     `json:"over,omitempty"`
+	NaN   int     `json:"nan,omitempty"`
+
+	Raw *stats.Histogram `json:"raw,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// suitable for JSON encoding or offline diffing.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// snapshotHist derives the export view from a mergeable bucket snapshot.
+func snapshotHist(h *stats.Histogram) HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Quantile(1),
+		Under: h.Under,
+		Over:  h.Over,
+		NaN:   h.NaN,
+		Raw:   h,
+	}
+}
+
+// Snapshot copies every instrument. Nil registries return a zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Hist, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistSnapshot, len(hists)),
+	}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = snapshotHist(h.Snapshot())
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteTable renders the registry as a human-readable table: counters and
+// gauges by name, then histograms with count / mean / p50 / p90 / p99 /
+// max summaries (seconds-valued histograms are easiest read with the name
+// convention "<sub>.<metric>.seconds").
+func (r *Registry) WriteTable(w io.Writer) error {
+	snap := r.Snapshot()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(snap.Counters) > 0 || len(snap.Gauges) > 0 {
+		fmt.Fprintln(tw, "counter/gauge\tvalue")
+		for _, k := range sortedKeys(snap.Counters) {
+			fmt.Fprintf(tw, "%s\t%d\n", k, snap.Counters[k])
+		}
+		for _, k := range sortedKeys(snap.Gauges) {
+			fmt.Fprintf(tw, "%s\t%d\n", k, snap.Gauges[k])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(tw, "histogram\tcount\tmean\tp50\tp90\tp99\tmax\tout-of-range")
+		for _, k := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[k]
+			fmt.Fprintf(tw, "%s\t%d\t%.4g\t%.4g\t%.4g\t%.4g\t%.4g\t%d\n",
+				k, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Max, h.Under+h.Over+h.NaN)
+		}
+	}
+	return tw.Flush()
+}
+
+// published guards expvar names: expvar.Publish panics on reuse, and
+// tests/experiments build many registries.
+var published sync.Map // name -> *Registry
+
+// PublishExpvar exposes the registry's JSON snapshot as the named expvar
+// (readable at /debug/vars on any server carrying expvar.Handler,
+// including this package's Handler). Publishing a second registry under a
+// name rebinds the variable to the new registry instead of panicking.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	_, loaded := published.Swap(name, r)
+	if loaded {
+		return // the expvar.Func below reads the current map entry
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		v, _ := published.Load(name)
+		reg, _ := v.(*Registry)
+		return reg.Snapshot()
+	}))
+}
+
+// Handler returns an HTTP handler exposing the full export surface:
+//
+//	/metrics        human-readable table dump
+//	/metrics.json   JSON snapshot
+//	/debug/vars     expvar (all published variables)
+//	/debug/pprof/*  the standard pprof profiles
+//
+// Attach it with http.ListenAndServe(addr, reg.Handler()) to profile a
+// running experiment.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteTable(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

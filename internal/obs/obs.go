@@ -1,0 +1,230 @@
+// Package obs is the observability subsystem: a registry of named
+// counters, gauges and latency/hop histograms, per-token trace spans with
+// bounded sampling (trace.go), and export surfaces — human-readable table
+// dump, JSON snapshot, expvar publication and an HTTP handler carrying
+// net/http/pprof (export.go).
+//
+// The paper's efficiency claims (Section 3.5) are distributional — O(log N)
+// overlay hops per lookup, O(1) amortized hops per token — so cumulative
+// totals like core.Metrics can verify means but not tails. This package
+// records full distributions (via internal/stats.Histogram) at every layer
+// that has one: chord lookup hop counts, transport round-trip times and
+// retry backoffs, dist token-hop latency and freeze/drain stalls, core
+// split/merge/repair timing.
+//
+// Everything is nil-safe and allocation-conscious: a nil *Registry hands
+// out nil instruments, and every instrument method no-ops on a nil
+// receiver, so an instrumented hot path pays a single pointer test when
+// observability is disabled (the <5% throughput budget of E25's acceptance
+// bar).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Registry holds named instruments. Instruments are created on first use
+// and shared by name, so two subsystems instrumenting the same registry
+// with the same name feed one merged distribution.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Hist
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given layout
+// ([lo, hi) split into n equal buckets) on first use; an existing
+// histogram keeps its original layout. A nil registry returns a nil
+// (no-op) histogram.
+func (r *Registry) Histogram(name string, lo, hi float64, n int) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{h: stats.NewHistogram(lo, hi, n)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// names returns the sorted instrument names of one kind.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counter is a monotonically increasing uint64. Safe for concurrent use;
+// all methods no-op on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level. Safe for concurrent use; all methods
+// no-op on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Hist is a concurrency-safe histogram instrument over a
+// stats.Histogram. All methods no-op on a nil receiver.
+type Hist struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one observation (see stats.Histogram for the NaN and
+// out-of-range clamping convention).
+func (h *Hist) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Observe(x)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Hist) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Since records the seconds elapsed since start. The caller guards the
+// time.Now() for the start with a nil check on h, so disabled
+// instrumentation skips the clock reads entirely.
+func (h *Hist) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveDuration(time.Since(start))
+}
+
+// Snapshot returns a mergeable copy of the underlying histogram (nil on a
+// nil instrument). Snapshots from shards of the same logical metric
+// combine with stats.Histogram.Merge.
+func (h *Hist) Snapshot() *stats.Histogram {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Clone()
+}
+
+// Merge folds a snapshot with the identical bucket layout into the
+// instrument.
+func (h *Hist) Merge(o *stats.Histogram) error {
+	if h == nil || o == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Merge(o)
+}
+
+// Summary returns percentile summaries of the observations so far (zero
+// Summary on a nil instrument).
+func (h *Hist) Summary() stats.Summary {
+	if h == nil {
+		return stats.Summary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Summarize()
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("z", 0, 1, 10)
+	h.Observe(0.5)
+	h.ObserveDuration(time.Second)
+	h.Since(time.Now())
+	if h.Snapshot() != nil || h.Summary().N != 0 {
+		t.Fatal("nil histogram accumulated")
+	}
+	if err := h.Merge(nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	r.PublishExpvar("nil-reg")
+}
+
+func TestInstrumentsSharedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tok").Add(2)
+	r.Counter("tok").Add(3)
+	if got := r.Counter("tok").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	r.Gauge("lvl").Set(7)
+	if got := r.Gauge("lvl").Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	h1 := r.Histogram("lat", 0, 10, 10)
+	h2 := r.Histogram("lat", 0, 99, 5) // layout of first creation wins
+	h1.Observe(1)
+	h2.Observe(2)
+	if got := r.Histogram("lat", 0, 10, 10).Summary().N; got != 2 {
+		t.Fatalf("histogram count = %d, want 2", got)
+	}
+	if snap := h1.Snapshot(); snap.Hi != 10 || len(snap.Buckets) != 10 {
+		t.Fatalf("second layout overwrote the first: %+v", snap)
+	}
+}
+
+func TestConcurrentInstrumentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", 0, 100, 10).Observe(float64(i % 100))
+				r.Gauge("g").Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Histogram("h", 0, 100, 10).Summary().N; got != 4000 {
+		t.Fatalf("hist count = %d, want 4000", got)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("a", 0, 10, 10)
+	b := r.Histogram("b", 0, 10, 10)
+	for i := 0; i < 30; i++ {
+		a.Observe(float64(i % 10))
+		b.Observe(float64(i % 5))
+	}
+	if err := a.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Summary().N; got != 60 {
+		t.Fatalf("merged count = %d, want 60", got)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4, 8)
+	finished := 0
+	for i := 0; i < 40; i++ {
+		sp := tr.Start("tok")
+		if sp != nil {
+			sp.Event("hop", "b0", 1)
+			sp.Finish()
+			finished++
+		}
+	}
+	if finished != 10 {
+		t.Fatalf("sampled %d of 40 with stride 4, want 10", finished)
+	}
+	if tr.Sampled() != 10 || tr.Started() != 40 {
+		t.Fatalf("sampled/started = %d/%d, want 10/40", tr.Sampled(), tr.Started())
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want ring cap 8", len(spans))
+	}
+	for _, s := range spans {
+		if len(s.Events) != 1 || s.Events[0].Kind != "hop" {
+			t.Fatalf("span events = %+v", s.Events)
+		}
+		if s.Dur < 0 {
+			t.Fatalf("span duration %v negative", s.Dur)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteSpans(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "span tok"); got != 3 {
+		t.Fatalf("dump has %d spans, want 3:\n%s", got, buf.String())
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	sp.Event("hop", "", 0) // must not panic
+	sp.Finish()
+	if tr.Spans() != nil || tr.Sampled() != 0 || tr.Started() != 0 {
+		t.Fatal("nil tracer accumulated")
+	}
+}
+
+func TestSnapshotAndExports(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tokens").Add(12)
+	r.Gauge("nodes").Set(4)
+	h := r.Histogram("hops", 0, 16, 16)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 8))
+	}
+
+	snap := r.Snapshot()
+	if snap.Counters["tokens"] != 12 || snap.Gauges["nodes"] != 4 {
+		t.Fatalf("snapshot scalars wrong: %+v", snap)
+	}
+	hs := snap.Histograms["hops"]
+	if hs.Count != 100 || hs.P50 > hs.P99 || hs.Raw == nil {
+		t.Fatalf("snapshot histogram wrong: %+v", hs)
+	}
+
+	var table bytes.Buffer
+	if err := r.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tokens", "nodes", "hops", "p99"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, table.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Counters["tokens"] != 12 || decoded.Histograms["hops"].Count != 100 {
+		t.Fatalf("JSON round-trip lost data: %+v", decoded)
+	}
+}
+
+func TestPublishExpvarRebinds(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("x").Add(1)
+	a.PublishExpvar("obs-test-var")
+	b := NewRegistry()
+	b.Counter("x").Add(9)
+	b.PublishExpvar("obs-test-var") // must not panic, must rebind
+	v, ok := published.Load("obs-test-var")
+	if !ok || v.(*Registry) != b {
+		t.Fatal("expvar name not rebound to the new registry")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served").Add(3)
+	r.Histogram("lat.seconds", 0, 1, 10).Observe(0.25)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(res.Body); err != nil {
+			t.Fatal(err)
+		}
+		if res.StatusCode != 200 {
+			t.Fatalf("GET %s: %d %s", path, res.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+	if body := get("/metrics"); !strings.Contains(body, "served") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, "lat.seconds") {
+		t.Fatalf("/metrics.json missing histogram:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+	get("/debug/vars")
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer samples per-token trace spans. Every Nth Start call (the sampling
+// stride) returns a live *Span; the rest return nil, and all Span methods
+// no-op on nil, so an unsampled token pays one atomic increment and no
+// allocation. Finished spans are retained in a bounded ring buffer: a
+// full-load run keeps the last `retain` sampled journeys for inspection
+// without unbounded memory.
+type Tracer struct {
+	every  uint64
+	retain int
+
+	seq     atomic.Uint64 // Start calls (sampling decisions)
+	sampled atomic.Uint64 // Start calls that produced a span
+
+	mu    sync.Mutex
+	ring  []*Span // finished spans, ring-ordered
+	next  int     // ring write position
+	total uint64  // finished spans ever recorded
+}
+
+// NewTracer creates a tracer sampling one in `every` spans (minimum 1 =
+// every span) and retaining the last `retain` finished spans (default 64).
+func NewTracer(every, retain int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if retain < 1 {
+		retain = 64
+	}
+	return &Tracer{every: uint64(every), retain: retain}
+}
+
+// Start begins a span when the sampling stride selects this call, and
+// returns nil otherwise. Safe for concurrent use; a nil tracer always
+// returns nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if (t.seq.Add(1)-1)%t.every != 0 {
+		return nil
+	}
+	t.sampled.Add(1)
+	return &Span{t: t, Name: name, Begin: time.Now(), Events: make([]Event, 0, 8)}
+}
+
+// keep records a finished span in the retention ring.
+func (t *Tracer) keep(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < t.retain {
+		t.ring = append(t.ring, s)
+		return
+	}
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % t.retain
+}
+
+// Sampled returns how many Start calls produced a span (0 on nil).
+func (t *Tracer) Sampled() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// Started returns how many Start calls were made (0 on nil).
+func (t *Tracer) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Spans returns the retained finished spans, oldest first. Nil tracers
+// return nil.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, len(t.ring))
+	for i := 0; i < len(t.ring); i++ {
+		out = append(out, t.ring[(t.next+i)%len(t.ring)])
+	}
+	return out
+}
+
+// WriteSpans renders up to max retained spans (newest last), one event per
+// line, for the human-readable export surface.
+func (t *Tracer) WriteSpans(w io.Writer, max int) error {
+	spans := t.Spans()
+	if len(spans) > max && max > 0 {
+		spans = spans[len(spans)-max:]
+	}
+	for _, s := range spans {
+		if _, err := fmt.Fprintf(w, "span %s (%v, %d events)\n", s.Name, s.Dur, len(s.Events)); err != nil {
+			return err
+		}
+		for _, e := range s.Events {
+			if _, err := fmt.Fprintf(w, "  +%-12v %-10s %s", e.At, e.Kind, e.Detail); err != nil {
+				return err
+			}
+			if e.V != 0 {
+				if _, err := fmt.Fprintf(w, " (%d)", e.V); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Event is one step of a traced journey: a component visited, a wire hop,
+// a DHT lookup, a retry, a queue/drain wait.
+type Event struct {
+	At     time.Duration `json:"at"`   // offset from the span's Begin
+	Kind   string        `json:"kind"` // "comp", "lookup", "entry-try", "queued", ...
+	Detail string        `json:"detail,omitempty"`
+	V      int64         `json:"v,omitempty"` // numeric payload (hop count, wire, ...)
+}
+
+// Span is one sampled journey. A span belongs to a single goroutine (the
+// token it traces); only the tracer's retention ring is shared. All
+// methods no-op on a nil receiver.
+type Span struct {
+	t      *Tracer
+	Name   string        `json:"name"`
+	Begin  time.Time     `json:"begin"`
+	Dur    time.Duration `json:"dur"`
+	Events []Event       `json:"events"`
+}
+
+// Event appends one event at the current offset.
+func (s *Span) Event(kind, detail string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, Event{At: time.Since(s.Begin), Kind: kind, Detail: detail, V: v})
+}
+
+// Finish stamps the span's duration and hands it to the tracer's
+// retention ring.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Begin)
+	if s.t != nil {
+		s.t.keep(s)
+	}
+}

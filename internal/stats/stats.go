@@ -81,12 +81,27 @@ func (s Summary) String() string {
 		s.N, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }
 
-// Histogram is a fixed-bucket histogram over [Lo, Hi).
+// Histogram is a fixed-bucket histogram over [Lo, Hi) with equal-width
+// buckets.
+//
+// Out-of-range convention: a finite observation below Lo or at/above Hi is
+// clamped into the first or last bucket (so it still contributes to counts,
+// quantiles and the mean) and additionally tallied in Under or Over, which
+// therefore measure range pressure rather than extra observations. NaN
+// observations cannot be ordered, so they are only tallied in NaN and never
+// bucketed. Total() is Count() + NaN.
 type Histogram struct {
 	Lo, Hi  float64
 	Buckets []int
-	// Under and Over count out-of-range observations.
+	// Under and Over tally the clamped out-of-range observations (already
+	// included in the end buckets).
 	Under, Over int
+	// NaN tallies NaN observations, which are not bucketed.
+	NaN int
+	// Sum accumulates the clamped values of all bucketed observations
+	// (out-of-range values contribute Lo or Hi, keeping Mean finite even
+	// when an infinity is observed).
+	Sum float64
 }
 
 // NewHistogram creates a histogram with n buckets spanning [lo, hi).
@@ -100,30 +115,136 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
 }
 
-// Observe records one observation.
+// Observe records one observation under the clamping convention described
+// on Histogram.
 func (h *Histogram) Observe(x float64) {
-	if x < h.Lo {
+	if math.IsNaN(x) {
+		h.NaN++
+		return
+	}
+	i := 0
+	switch {
+	case x < h.Lo:
 		h.Under++
-		return
-	}
-	if x >= h.Hi {
+		x = h.Lo
+	case x >= h.Hi:
 		h.Over++
-		return
-	}
-	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
-	if i >= len(h.Buckets) {
 		i = len(h.Buckets) - 1
+		x = h.Hi
+	default:
+		i = int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Buckets)))
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
 	}
 	h.Buckets[i]++
+	h.Sum += x
 }
 
-// Total returns the number of observations, including out-of-range ones.
-func (h *Histogram) Total() int {
-	t := h.Under + h.Over
+// Count returns the number of bucketed observations (everything except
+// NaN).
+func (h *Histogram) Count() int {
+	t := 0
 	for _, b := range h.Buckets {
 		t += b
 	}
 	return t
+}
+
+// Total returns the number of observations, including NaN ones.
+func (h *Histogram) Total() int {
+	return h.Count() + h.NaN
+}
+
+// Mean returns the mean of the bucketed (clamped) observations, 0 when
+// empty.
+func (h *Histogram) Mean() float64 {
+	c := h.Count()
+	if c == 0 {
+		return 0
+	}
+	return h.Sum / float64(c)
+}
+
+// Quantile estimates the p-th quantile (0 <= p <= 1) of the bucketed
+// observations, interpolating linearly within the containing bucket. It
+// returns 0 for an empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(n)
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	cum := 0.0
+	for i, b := range h.Buckets {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if rank <= next {
+			frac := (rank - cum) / float64(b)
+			if frac < 0 {
+				frac = 0
+			}
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// Merge folds another histogram with the identical bucket layout into h.
+// Snapshots taken with Clone on different shards of the same instrument
+// merge into a global view this way.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Buckets) != len(o.Buckets) {
+		return fmt.Errorf("stats: merging histogram [%g,%g)x%d into [%g,%g)x%d",
+			o.Lo, o.Hi, len(o.Buckets), h.Lo, h.Hi, len(h.Buckets))
+	}
+	for i, b := range o.Buckets {
+		h.Buckets[i] += b
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.NaN += o.NaN
+	h.Sum += o.Sum
+	return nil
+}
+
+// Clone returns an independent copy of the histogram (a mergeable
+// snapshot).
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.Buckets = make([]int, len(h.Buckets))
+	copy(c.Buckets, h.Buckets)
+	return &c
+}
+
+// Summarize derives a Summary from the bucketed observations. Min and Max
+// are the 0th and 100th quantile estimates (bucket-edge resolution).
+func (h *Histogram) Summarize() Summary {
+	if h.Count() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    h.Count(),
+		Min:  h.Quantile(0),
+		Max:  h.Quantile(1),
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+	}
 }
 
 // LinFit returns the least-squares slope and intercept of y against x.

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RetryConfig shapes the client's reliability behavior.
@@ -57,6 +59,17 @@ type ClientStats struct {
 	Failures uint64 // calls that exhausted their retry budget
 }
 
+// Sub returns the field-wise difference s - prev, isolating the calls made
+// between two snapshots of the same client.
+func (s ClientStats) Sub(prev ClientStats) ClientStats {
+	return ClientStats{
+		Calls:    s.Calls - prev.Calls,
+		Retries:  s.Retries - prev.Retries,
+		Timeouts: s.Timeouts - prev.Timeouts,
+		Failures: s.Failures - prev.Failures,
+	}
+}
+
 // Client is the reliability layer over a Transport: every logical call gets
 // a fresh message ID; timeouts trigger capped exponential backoff retries
 // that reuse the ID, so the receiver's dedup cache keeps handler effects
@@ -71,6 +84,26 @@ type Client struct {
 	next  atomic.Uint64
 	mu    sync.Mutex
 	stats ClientStats
+
+	// Observability handles (nil when uninstrumented); set by Instrument
+	// and read under mu at the top of each Call.
+	obsRTT      *obs.Hist // per-logical-call wall seconds (including retries)
+	obsBackoff  *obs.Hist // backoff sleeps before retries, seconds
+	obsAttempts *obs.Hist // attempts per call (1 = first try succeeded)
+}
+
+// Instrument routes the client's reliability distributions — per-call
+// round-trip time, retry backoff, and attempts-per-call — into reg. Call
+// it before issuing traffic; instrumenting mid-call is racy.
+func (c *Client) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.obsRTT = reg.Histogram("transport.call.seconds", 0, 0.02, 400)
+	c.obsBackoff = reg.Histogram("transport.retry.backoff.seconds", 0, 0.01, 200)
+	c.obsAttempts = reg.Histogram("transport.call.attempts", 0, 20, 20)
 }
 
 // NewClient creates a reliability client over tr. Zero RetryConfig fields
@@ -87,15 +120,29 @@ func (c *Client) Transport() Transport { return c.tr }
 // are returned immediately (the former means the caller should re-resolve
 // the address, the latter means the request was delivered).
 func (c *Client) Call(from, to Addr, kind string, body any) (any, error) {
+	return c.CallSpan(from, to, kind, body, nil)
+}
+
+// CallSpan is Call with an optional trace span: each retry is recorded as
+// a "retry" event on sp (nil-safe), so a sampled token's trace shows the
+// reliability work its messages cost.
+func (c *Client) CallSpan(from, to Addr, kind string, body any, sp *obs.Span) (any, error) {
 	req := Request{ID: c.next.Add(1), From: from, To: to, Kind: kind, Body: body}
 	c.mu.Lock()
 	c.stats.Calls++
+	rtt, backoffH, attemptsH := c.obsRTT, c.obsBackoff, c.obsAttempts
 	c.mu.Unlock()
+	var start time.Time
+	if rtt != nil {
+		start = time.Now()
+	}
 
 	backoff := c.cfg.Backoff
 	for attempt := 0; ; attempt++ {
 		reply, err := c.tr.Send(req, c.cfg.Timeout)
 		if err == nil || !errors.Is(err, ErrTimeout) {
+			attemptsH.Observe(float64(attempt + 1))
+			rtt.Since(start)
 			return reply, err
 		}
 		c.mu.Lock()
@@ -108,9 +155,14 @@ func (c *Client) Call(from, to Addr, kind string, body any) (any, error) {
 		}
 		c.mu.Unlock()
 		if exhausted {
+			attemptsH.Observe(float64(attempt + 1))
 			return nil, fmt.Errorf("transport: call %q to %q failed after %d attempts: %w",
 				kind, to, attempt+1, err)
 		}
+		if sp != nil {
+			sp.Event("retry", kind+" to "+string(to), int64(attempt+1))
+		}
+		backoffH.ObserveDuration(backoff)
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > c.cfg.BackoffCap {
 			backoff = c.cfg.BackoffCap

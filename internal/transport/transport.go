@@ -101,3 +101,18 @@ func (s Stats) Add(o Stats) Stats {
 		Partitions: s.Partitions + o.Partitions,
 	}
 }
+
+// Sub returns the field-wise difference s - prev: the activity between two
+// snapshots of the same cumulative counters. Taking prev before an
+// experiment phase and subtracting it after isolates that phase's traffic.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Sent:       s.Sent - prev.Sent,
+		Delivered:  s.Delivered - prev.Delivered,
+		DedupHits:  s.DedupHits - prev.DedupHits,
+		Dropped:    s.Dropped - prev.Dropped,
+		Duplicated: s.Duplicated - prev.Duplicated,
+		Reordered:  s.Reordered - prev.Reordered,
+		Partitions: s.Partitions - prev.Partitions,
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestMemBasics(t *testing.T) {
@@ -236,5 +238,89 @@ func TestClientBackoffCap(t *testing.T) {
 	cfg = RetryConfig{Backoff: time.Millisecond, BackoffCap: time.Microsecond}.withDefaults()
 	if cfg.BackoffCap != time.Millisecond {
 		t.Fatalf("cap not raised to backoff: %+v", cfg)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Sent: 10, Delivered: 8, DedupHits: 1, Dropped: 2, Duplicated: 1, Reordered: 1, Partitions: 1}
+	b := Stats{Sent: 25, Delivered: 20, DedupHits: 3, Dropped: 5, Duplicated: 2, Reordered: 4, Partitions: 1}
+	d := b.Sub(a)
+	want := Stats{Sent: 15, Delivered: 12, DedupHits: 2, Dropped: 3, Duplicated: 1, Reordered: 3}
+	if d != want {
+		t.Fatalf("Sub = %+v, want %+v", d, want)
+	}
+	if got := a.Add(d); got != b {
+		t.Fatalf("Add(Sub) = %+v, want %+v", got, b)
+	}
+	ca := ClientStats{Calls: 4, Retries: 2, Timeouts: 2, Failures: 1}
+	cb := ClientStats{Calls: 9, Retries: 5, Timeouts: 6, Failures: 1}
+	if got, want := cb.Sub(ca), (ClientStats{Calls: 5, Retries: 3, Timeouts: 4}); got != want {
+		t.Fatalf("ClientStats.Sub = %+v, want %+v", got, want)
+	}
+}
+
+func TestClientInstrumented(t *testing.T) {
+	mem := NewMem()
+	if err := mem.Bind("a", func(Request) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c := NewClient(mem, RetryConfig{})
+	c.Instrument(reg)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Call("x", "a", "k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Histograms["transport.call.seconds"].Count; got != 5 {
+		t.Fatalf("RTT samples = %d, want 5", got)
+	}
+	att := snap.Histograms["transport.call.attempts"]
+	if att.Count != 5 || att.Mean != 1 {
+		t.Fatalf("attempts histogram = %+v, want 5 one-attempt calls", att)
+	}
+	if got := snap.Histograms["transport.retry.backoff.seconds"].Count; got != 0 {
+		t.Fatalf("backoff samples = %d on a reliable fabric, want 0", got)
+	}
+}
+
+func TestCallSpanRecordsRetries(t *testing.T) {
+	mem := NewMem()
+	if err := mem.Bind("a", func(Request) (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Drop every request leg so every attempt times out.
+	f := NewFaulty(mem, FaultConfig{Seed: 7, DropRate: 1})
+	reg := obs.NewRegistry()
+	c := NewClient(f, RetryConfig{Timeout: 200 * time.Microsecond, MaxRetries: 2,
+		Backoff: 50 * time.Microsecond, BackoffCap: 100 * time.Microsecond})
+	c.Instrument(reg)
+	tr := obs.NewTracer(1, 4)
+	sp := tr.Start("call")
+	if _, err := c.CallSpan("x", "a", "k", nil, sp); err == nil {
+		t.Fatal("call through a fully lossy fabric succeeded")
+	}
+	sp.Finish()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans, want 1", len(spans))
+	}
+	retries := 0
+	for _, e := range spans[0].Events {
+		if e.Kind == "retry" {
+			retries++
+		}
+	}
+	if retries != 2 {
+		t.Fatalf("span recorded %d retries, want 2", retries)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Histograms["transport.retry.backoff.seconds"].Count; got != 2 {
+		t.Fatalf("backoff samples = %d, want 2", got)
+	}
+	att := snap.Histograms["transport.call.attempts"]
+	if att.Count != 1 || att.Mean != 3 {
+		t.Fatalf("attempts histogram = %+v, want one 3-attempt call", att)
 	}
 }
