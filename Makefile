@@ -3,9 +3,9 @@ GO ?= go
 # get a second pass under the race detector.
 RACE_PKGS = ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
 
-.PHONY: check fmt vet build test race bench benchsmoke
+.PHONY: check fmt vet build test race bench benchsmoke perfsmoke bench-baseline
 
-check: fmt vet build test race benchsmoke
+check: fmt vet build test race benchsmoke perfsmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -30,3 +30,17 @@ bench:
 # longer compile or crash without paying for real measurement runs.
 benchsmoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The hot-path benchmarks one iteration each UNDER THE RACE DETECTOR:
+# b.RunParallel and the batch/pooled paths race real goroutines, so this
+# catches data races the correctness tests' schedules might miss.
+perfsmoke:
+	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenDist|ChordLookupCached' -benchtime 1x -run '^$$' .
+
+# Refresh the machine-readable benchmark baseline (BENCH_3.json keeps the
+# checked-in PR-3 numbers; this writes a fresh run to compare against).
+bench-baseline:
+	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle' \
+		-benchmem -benchtime 1s -run '^$$' . \
+		| $(GO) run ./cmd/acnbench -json -label local > BENCH_local.json
+	@echo wrote BENCH_local.json

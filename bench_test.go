@@ -11,6 +11,7 @@ import (
 	"repro/internal/chord"
 	"repro/internal/core"
 	"repro/internal/cutnet"
+	"repro/internal/dist"
 	"repro/internal/estimate"
 	"repro/internal/experiments"
 	"repro/internal/tree"
@@ -117,6 +118,108 @@ func BenchmarkTokenAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkTokenAdaptiveParallel injects from concurrent clients (one per
+// worker goroutine), exercising the lock-free balancer fetch-add, the
+// epoch-snapshot topology, and the lookup/neighbor caches under
+// contention. One op is one token.
+func BenchmarkTokenAdaptiveParallel(b *testing.B) {
+	for _, nodes := range []int{16, 128} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			net, err := core.New(core.Config{Width: 1 << 12, Seed: 1, InitialNodes: nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.MaintainToFixpoint(200); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client, err := net.NewClient()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for pb.Next() {
+					if _, err := client.Inject(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTokenDist measures the message-level cluster: one op is one
+// token traversing the transport with pooled endpoints.
+func BenchmarkTokenDist(b *testing.B) {
+	w := 64
+	cl, err := distCluster(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Inject(rng.Intn(w)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenDistBatch amortizes endpoint setup across a whole batch.
+// ns/op is still per token (b.N tokens total).
+func BenchmarkTokenDistBatch(b *testing.B) {
+	w := 64
+	cl, err := distCluster(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const batch = 64
+	ins := make([]int, batch)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			ins[i] = rng.Intn(w)
+		}
+		if _, err := cl.InjectBatch(ins[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func distCluster(w int) (*dist.Cluster, error) {
+	cl, err := dist.NewRootOnly(w)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.Split(""); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// BenchmarkChordLookupCached measures the churn-invalidated lookup cache
+// on a stable ring (the warm path tokens hit between membership changes).
+func BenchmarkChordLookupCached(b *testing.B) {
+	ring := acn.NewRing(1)
+	ids := ring.JoinN(1024)
+	cache := chord.NewLookupCache(ring, 4096)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := ids[rng.Intn(len(ids))]
+		if _, _, _, err := cache.Owner(from, fmt.Sprint(i%512)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSplitMergeCycle(b *testing.B) {
 	n, err := cutnet.NewRootOnly(1 << 10)
 	if err != nil {
@@ -198,6 +301,8 @@ func BenchmarkE22AdaptivityAxes(b *testing.B) { benchExperiment(b, "E22") }
 func BenchmarkE23Saturation(b *testing.B) { benchExperiment(b, "E23") }
 
 func BenchmarkE24FaultyTransport(b *testing.B) { benchExperiment(b, "E24") }
+
+func BenchmarkE26Multicore(b *testing.B) { benchExperiment(b, "E26") }
 
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency

@@ -29,4 +29,7 @@ go test -race ./internal/transport/... ./internal/dist/... ./internal/chord/... 
 echo "== benchmark smoke (1 iteration each) =="
 go test -bench . -benchtime 1x -run '^$' ./...
 
+echo "== perf smoke (hot-path benchmarks under -race) =="
+go test -race -bench 'TokenAdaptiveParallel|TokenDist|ChordLookupCached' -benchtime 1x -run '^$' .
+
 echo "OK"

@@ -1,4 +1,4 @@
-// Command acnbench runs the reproduction experiments (E1..E25, indexed in
+// Command acnbench runs the reproduction experiments (E1..E26, indexed in
 // DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
 // output.
 //
@@ -9,11 +9,18 @@
 //	acnbench -quick          # smaller sweeps
 //	acnbench -seed 7         # different deterministic seed
 //	acnbench -http :8080     # also serve /metrics, /debug/vars, /debug/pprof
+//	acnbench -cpuprofile cpu.out -run E26   # write a pprof CPU profile
+//	acnbench -memprofile mem.out -run E20   # write a heap profile at exit
+//	go test -bench . -benchmem | acnbench -json -label post > bench.json
 //
 // With -http, harness-level metrics (experiments completed, per-experiment
 // wall time) are served for the duration of the run, alongside the expvar
 // and pprof endpoints — attach a profiler to a long sweep by pointing it at
 // the printed address.
+//
+// With -json, acnbench runs no experiments: it reads `go test -bench`
+// output on stdin and writes the repo's BENCH_*.json baseline format to
+// stdout (see internal/stats.ParseGoBench).
 package main
 
 import (
@@ -22,11 +29,14 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -57,6 +67,10 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "smaller sweeps")
 		list     = fs.Bool("list", false, "list experiment IDs and exit")
 		httpAddr = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		jsonOut  = fs.Bool("json", false, "convert `go test -bench` output on stdin to BENCH_*.json format on stdout")
+		label    = fs.String("label", "", "run label for -json output (e.g. pre, post, a git revision)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +80,40 @@ func run(args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if *jsonOut {
+		run, err := stats.ParseGoBench(os.Stdin)
+		if err != nil {
+			return err
+		}
+		run.Label = *label
+		return stats.WriteBenchJSON(os.Stdout, []stats.BenchRun{run})
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acnbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "acnbench: memprofile:", err)
+			}
+		}()
 	}
 
 	var reg *obs.Registry

@@ -1,0 +1,168 @@
+package chord
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// DefaultLookupCacheSize bounds a LookupCache built with size <= 0.
+const DefaultLookupCacheSize = 4096
+
+// LookupCache is a bounded, churn-invalidated cache of key→owner
+// resolutions over one ring. The paper's token entry path issues a DHT
+// lookup per try (Section 3.5), and the Kademlia hop-count analysis of
+// Roos et al. (see PAPERS.md) shows lookup cost is distributional and
+// highly cacheable: the same few component names are resolved over and
+// over between churn events. A hit answers in O(1) with zero overlay hops;
+// the cache flushes wholesale whenever the ring's membership version
+// changes, because any join, leave or crash can move any name's owner (the
+// successor hand-off rule of Section 3.4). Entries above the bound evict
+// arbitrarily — the working set (live component names) is small, so
+// eviction is rare.
+//
+// Callers may key entries by any string that uniquely identifies the
+// looked-up object (internal/core keys by tree path, which is cheaper to
+// produce than the full component name). The Get/Put pair carries the
+// membership version across the caller's fallback lookup so a resolution
+// that raced churn is never cached.
+//
+// A LookupCache is safe for concurrent use.
+type LookupCache struct {
+	ring *Ring
+	cap  int
+
+	hits, misses, flushes atomic.Uint64
+
+	// Observability handles (nil when uninstrumented); set by Instrument
+	// before traffic, read without synchronization afterwards.
+	cHits, cMisses, cFlushes *obs.Counter
+
+	mu      sync.Mutex
+	version uint64
+	entries map[string]NodeID
+}
+
+// NewLookupCache creates a cache over ring bounded to size entries
+// (size <= 0 takes DefaultLookupCacheSize).
+func NewLookupCache(ring *Ring, size int) *LookupCache {
+	if size <= 0 {
+		size = DefaultLookupCacheSize
+	}
+	return &LookupCache{ring: ring, cap: size, entries: make(map[string]NodeID)}
+}
+
+// Instrument routes the cache's hit/miss/flush counters into reg. Call it
+// before issuing traffic. Nil-safe.
+func (c *LookupCache) Instrument(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.cHits = reg.Counter("chord.lcache.hits")
+	c.cMisses = reg.Counter("chord.lcache.misses")
+	c.cFlushes = reg.Counter("chord.lcache.flushes")
+}
+
+// LookupCacheStats is a snapshot of the cache counters.
+type LookupCacheStats struct {
+	Hits    uint64 // lookups answered from the cache (zero overlay hops)
+	Misses  uint64 // lookups that fell through to the ring
+	Flushes uint64 // wholesale invalidations caused by membership churn
+}
+
+// Stats returns a snapshot of the cache counters. Nil-safe.
+func (c *LookupCache) Stats() LookupCacheStats {
+	if c == nil {
+		return LookupCacheStats{}
+	}
+	return LookupCacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Flushes: c.flushes.Load(),
+	}
+}
+
+// Len returns the number of cached resolutions. Nil-safe.
+func (c *LookupCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get returns the cached owner for key. A membership version change
+// flushes the whole cache before the check, so a stale owner is never
+// returned. On a miss the caller should resolve the key itself (e.g. with
+// Ring.Lookup) and hand the result to Put together with the returned
+// version. Nil-safe: a nil cache always misses.
+func (c *LookupCache) Get(key string) (owner NodeID, version uint64, ok bool) {
+	if c == nil {
+		return 0, 0, false
+	}
+	v := c.ring.Version()
+	c.mu.Lock()
+	if c.version != v {
+		if len(c.entries) > 0 {
+			c.entries = make(map[string]NodeID)
+			c.flushes.Add(1)
+			if c.cFlushes != nil {
+				c.cFlushes.Inc()
+			}
+		}
+		c.version = v
+	}
+	owner, ok = c.entries[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		if c.cHits != nil {
+			c.cHits.Inc()
+		}
+	} else {
+		c.misses.Add(1)
+		if c.cMisses != nil {
+			c.cMisses.Inc()
+		}
+	}
+	return owner, v, ok
+}
+
+// Put caches a resolution obtained after a Get miss. version must be the
+// value Get returned: if membership churned between the Get and the Put,
+// the resolution may describe either membership and is dropped — dropping
+// is always safe, keeping might not be. Nil-safe.
+func (c *LookupCache) Put(version uint64, key string, owner NodeID) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.version == version && c.ring.Version() == version {
+		if len(c.entries) >= c.cap {
+			for k := range c.entries { // arbitrary eviction
+				delete(c.entries, k)
+				break
+			}
+		}
+		c.entries[key] = owner
+	}
+	c.mu.Unlock()
+}
+
+// Owner resolves name through the cache, falling back to a hop-counted
+// greedy Lookup from node `from` on a miss. On a hit hops is 0 and no
+// messages are sent.
+func (c *LookupCache) Owner(from NodeID, name string) (owner NodeID, hops int, hit bool, err error) {
+	owner, v, ok := c.Get(name)
+	if ok {
+		return owner, 0, true, nil
+	}
+	owner, hops, err = c.ring.Lookup(from, Hash(name))
+	if err != nil {
+		return 0, 0, false, err
+	}
+	c.Put(v, name, owner)
+	return owner, hops, false, nil
+}

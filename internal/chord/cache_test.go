@@ -1,0 +1,180 @@
+package chord
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLookupCacheHitMiss(t *testing.T) {
+	r := NewRing(1)
+	r.JoinN(8)
+	c := NewLookupCache(r, 16)
+
+	owner, hops, hit, err := c.Owner(r.Nodes()[0], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("cold lookup reported as hit")
+	}
+	want, err := r.Owner("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != want {
+		t.Fatalf("owner %d, want %d", owner, want)
+	}
+	owner2, hops2, hit2, err := c.Owner(r.Nodes()[0], "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 || owner2 != want {
+		t.Fatalf("second lookup: hit=%v owner=%d, want hit with %d", hit2, owner2, want)
+	}
+	if hops2 != 0 {
+		t.Fatalf("cache hit cost %d hops, want 0", hops2)
+	}
+	_ = hops
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestLookupCacheChurnFlush checks every kind of membership change — join,
+// graceful remove — bumps the ring version and flushes the cache, so an
+// owner that moved is never served stale.
+func TestLookupCacheChurnFlush(t *testing.T) {
+	r := NewRing(2)
+	ids := r.JoinN(8)
+	c := NewLookupCache(r, 64)
+	at := ids[0]
+
+	names := []string{"a", "b", "c", "d"}
+	for _, name := range names {
+		if _, _, _, err := c.Owner(at, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != len(names) {
+		t.Fatalf("cached %d entries, want %d", c.Len(), len(names))
+	}
+
+	churn := []struct {
+		desc string
+		do   func() error
+	}{
+		{"join", func() error { r.Join(); return nil }},
+		{"remove", func() error { return r.Remove(ids[3]) }},
+	}
+	for _, ch := range churn {
+		before := r.Version()
+		if err := ch.do(); err != nil {
+			t.Fatal(err)
+		}
+		if r.Version() == before {
+			t.Fatalf("%s did not bump the membership version", ch.desc)
+		}
+		for _, name := range names {
+			owner, _, _, err := c.Owner(at, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := r.Owner(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if owner != want {
+				t.Fatalf("after %s: cached owner of %q is %d, ring says %d", ch.desc, name, owner, want)
+			}
+		}
+	}
+	if c.Stats().Flushes == 0 {
+		t.Fatal("churn caused no cache flush")
+	}
+}
+
+func TestLookupCachePutVersionGuard(t *testing.T) {
+	r := NewRing(3)
+	r.JoinN(4)
+	c := NewLookupCache(r, 16)
+
+	_, v, ok := c.Get("k")
+	if ok {
+		t.Fatal("empty cache hit")
+	}
+	// Membership churns between the Get and the Put: the resolution may
+	// describe either membership, so it must be dropped.
+	r.Join()
+	c.Put(v, "k", r.Nodes()[0])
+	if _, _, ok := c.Get("k"); ok {
+		t.Fatal("stale Put was cached across a membership change")
+	}
+}
+
+func TestLookupCacheBounded(t *testing.T) {
+	r := NewRing(4)
+	r.JoinN(4)
+	c := NewLookupCache(r, 8)
+	at := r.Nodes()[0]
+	for i := 0; i < 100; i++ {
+		if _, _, _, err := c.Owner(at, fmt.Sprintf("n%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache grew to %d entries, bound is 8", c.Len())
+	}
+}
+
+func TestLookupCacheConcurrent(t *testing.T) {
+	r := NewRing(5)
+	ids := r.JoinN(8)
+	c := NewLookupCache(r, 128)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := fmt.Sprintf("n%d", (g+i)%16)
+				owner, _, _, err := c.Owner(ids[g], name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if want, _ := r.Owner(name); owner != want {
+					t.Errorf("owner of %q = %d, want %d", name, owner, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 {
+		t.Fatal("concurrent lookups never hit the cache")
+	}
+	if got := reg.Counter("chord.lcache.hits").Value(); got != st.Hits {
+		t.Fatalf("obs counter %d, stats %d", got, st.Hits)
+	}
+}
+
+func TestLookupCacheNilSafe(t *testing.T) {
+	var c *LookupCache
+	if _, _, ok := c.Get("x"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(0, "x", 1)
+	c.Instrument(nil)
+	if c.Len() != 0 || c.Stats() != (LookupCacheStats{}) {
+		t.Fatal("nil cache not empty")
+	}
+}

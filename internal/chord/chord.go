@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -40,6 +41,12 @@ type NodeID uint64
 
 // Ring is a simulated Chord ring. It is safe for concurrent use.
 type Ring struct {
+	// version counts membership changes (joins, leaves, crashes). Lookup
+	// caches key their validity on it: any churn event invalidates every
+	// cached name resolution, which is exactly the condition under which an
+	// owner can change (Section 3.4's hand-off rule).
+	version atomic.Uint64
+
 	mu  sync.RWMutex
 	rng *rand.Rand
 	ids []NodeID // sorted
@@ -152,6 +159,15 @@ func (r *Ring) insertLocked(id NodeID) {
 	r.ids = append(r.ids, 0)
 	copy(r.ids[i+1:], r.ids[i:])
 	r.ids[i] = id
+	r.version.Add(1)
+}
+
+// Version returns the membership version: a counter bumped by every join,
+// leave and crash. Equal versions guarantee an unchanged membership, so a
+// name→owner resolution taken at version v stays valid while Version
+// still returns v.
+func (r *Ring) Version() uint64 {
+	return r.version.Load()
 }
 
 // Remove removes a node from the ring (used for both voluntary leaves and
@@ -167,6 +183,7 @@ func (r *Ring) Remove(id NodeID) error {
 	i := sort.Search(len(r.ids), func(i int) bool { return r.ids[i] >= id })
 	r.ids = append(r.ids[:i], r.ids[i+1:]...)
 	r.tr.Unbind(nodeAddr(id))
+	r.version.Add(1)
 	return nil
 }
 

@@ -9,6 +9,16 @@
 // the entry children's totals, mod k), and (c) provides a quiescence
 // detector for assemblies (tokens entered == tokens exited).
 //
+// The paper's pitch is that this single variable is uncontended enough to
+// scale: State implements it as a lock-free atomic word, not a mutex. The
+// low 63 bits hold the token total and the top bit is a freeze flag, so one
+// compare-and-swap both checks the freeze flag and claims the next output
+// wire. Freezing (the split/merge state capture of Section 2.2) atomically
+// sets the flag; from that instant the total is immutable and every
+// concurrent TryStep fails, telling the token to re-resolve against the
+// new topology. This replaces the per-token mutex acquisition that
+// serialized all traffic through a component.
+//
 // Split-state initialization (the paper leaves this "appropriate"
 // initialization unspecified): a component with counter x is replaced by
 // children whose state is obtained by replaying x virtual tokens,
@@ -19,18 +29,25 @@ package component
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/tree"
 )
 
+// frozenBit marks a frozen component; the remaining 63 bits are the token
+// total. 2^63 tokens is out of reach, so the flag never collides with a
+// real count.
+const frozenBit = uint64(1) << 63
+
 // State is the runtime state of one live component. It is safe for
-// concurrent use.
+// concurrent use; Step and TryStep are lock-free.
 type State struct {
 	Comp tree.Component
 
-	mu    sync.Mutex
-	total uint64
+	// state packs the token total (low 63 bits) with the freeze flag (top
+	// bit) so wire assignment and freeze detection are one atomic op.
+	state atomic.Uint64
 }
 
 // New creates a component with zero state.
@@ -41,24 +58,62 @@ func New(c tree.Component) *State {
 // NewWithTotal creates a component that behaves as if total tokens had
 // already passed through it.
 func NewWithTotal(c tree.Component, total uint64) *State {
-	return &State{Comp: c, total: total}
+	s := &State{Comp: c}
+	s.state.Store(total)
+	return s
+}
+
+// TryStep routes one token through the component and returns the output
+// wire it leaves on. It fails (ok == false) when the component is frozen
+// for a split or merge: the caller must re-resolve the token's position
+// against the current topology, because this incarnation's state has been
+// captured and is being replaced.
+func (s *State) TryStep() (out int, ok bool) {
+	w := uint64(s.Comp.Width)
+	for {
+		cur := s.state.Load()
+		if cur&frozenBit != 0 {
+			return 0, false
+		}
+		// The CAS is the paper's "x := x+1 mod k" fetch-add; retrying only
+		// races other tokens on the same component, never a lock holder.
+		if s.state.CompareAndSwap(cur, cur+1) {
+			return int(cur % w), true
+		}
+	}
 }
 
 // Step routes one token through the component and returns the output wire
-// it leaves on.
+// it leaves on, spinning across a concurrent freeze. Engines that replace
+// frozen components (internal/core's concurrent router) should use TryStep
+// and re-resolve instead; Step is for single-engine networks (internal/
+// cutnet) where a frozen component is always unfrozen or replaced promptly.
 func (s *State) Step() int {
-	s.mu.Lock()
-	out := int(s.total % uint64(s.Comp.Width))
-	s.total++
-	s.mu.Unlock()
-	return out
+	for {
+		if out, ok := s.TryStep(); ok {
+			return out
+		}
+		runtime.Gosched()
+	}
+}
+
+// Freeze atomically sets the freeze flag and returns the captured total.
+// From the linearization point of the Freeze, no TryStep succeeds, so the
+// returned total is exact and final: every token counted in it received a
+// wire assignment, every later token is refused. Freezing an already-frozen
+// component returns the same captured total (idempotent under retries).
+func (s *State) Freeze() uint64 {
+	return s.state.Or(frozenBit) &^ frozenBit
+}
+
+// Frozen reports whether the component is frozen.
+func (s *State) Frozen() bool {
+	return s.state.Load()&frozenBit != 0
 }
 
 // Total returns the number of tokens the component has processed.
 func (s *State) Total() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.total
+	return s.state.Load() &^ frozenBit
 }
 
 // Counter returns the paper's local variable x: the wire the next token
@@ -68,22 +123,19 @@ func (s *State) Counter() int {
 }
 
 // SetTotal overwrites the component's state (used by the self-stabilization
-// repair actions).
+// repair actions). It also clears the freeze flag.
 func (s *State) SetTotal(total uint64) {
-	s.mu.Lock()
-	s.total = total
-	s.mu.Unlock()
+	s.state.Store(total)
 }
 
 // EmittedOn returns the number of tokens emitted so far on output wire out:
 // in quiescence the component's output history is the unique step sequence
 // with the component's total.
 func (s *State) EmittedOn(out int) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	total := s.Total()
 	w := uint64(s.Comp.Width)
-	base := s.total / w
-	if uint64(out) < s.total%w {
+	base := total / w
+	if uint64(out) < total%w {
 		return base + 1
 	}
 	return base

@@ -65,7 +65,7 @@ func (n *Network) TokenLoadPerNode() []uint64 {
 	defer n.mu.RUnlock()
 	out := make([]uint64, 0, len(n.nodes))
 	for _, node := range n.nodes {
-		out = append(out, node.tokens)
+		out = append(out, node.tokens.Load())
 	}
 	return out
 }
@@ -124,8 +124,8 @@ func (n *Network) OutCounts() balancer.Seq {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	s := make(balancer.Seq, len(n.out))
-	for i, v := range n.out {
-		s[i] = int64(v)
+	for i := range n.out {
+		s[i] = int64(n.out[i].Load())
 	}
 	return s
 }
@@ -135,8 +135,8 @@ func (n *Network) InCounts() balancer.Seq {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	s := make(balancer.Seq, len(n.injected))
-	for i, v := range n.injected {
-		s[i] = int64(v)
+	for i := range n.injected {
+		s[i] = int64(n.injected[i].Load())
 	}
 	return s
 }

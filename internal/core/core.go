@@ -13,20 +13,35 @@
 // components over cached out-neighbor addresses, and exit with a counter
 // value.
 //
-// The engine is a discrete simulation with synchronous token traversal:
-// structural operations (split/merge/churn) exclude traversals, so every
-// structural operation sees a quiescent network, matching the freeze
-// protocol of Section 2.2. All overlay costs (DHT lookups, their hop
-// counts, inter-component wire hops) are metered rather than incurred, so
-// experiments measure the protocol, not the host machine. The
-// message-level asynchronous protocol (freeze queues, in-flight draining)
-// is exercised separately in internal/dist.
+// Concurrency model. The paper's whole point (Sections 1 and 2) is that a
+// counting network's throughput scales with its width, so the token path
+// is engineered to be contention-free: components assign wires with a
+// lock-free atomic fetch-add (internal/component), per-wire and protocol
+// counters are atomics, out-neighbor caches take only a per-component
+// (striped) lock, DHT lookups are absorbed by a bounded churn-invalidated
+// cache (internal/chord.LookupCache), and the topology is read through an
+// immutable epoch snapshot published via an atomic pointer — a token never
+// blocks on, or is blocked by, another token. Structural operations
+// (split/merge/churn/repair) are the only writers: they take the
+// network's structural lock exclusively, which drains in-flight tokens
+// (tokens hold it in read mode), mutate the authoritative component
+// directory, and publish a fresh snapshot. This matches the engine's
+// discrete-simulation semantics — every structural operation sees a
+// quiescent network, the freeze protocol of Section 2.2 collapsed to a
+// reader/writer drain. The message-level asynchronous protocol (freeze
+// queues, in-flight draining, non-blocking reconfiguration) is exercised
+// separately in internal/dist.
+//
+// All overlay costs (DHT lookups, their hop counts, inter-component wire
+// hops) are metered rather than incurred, so experiments measure the
+// protocol, not the host machine.
 package core
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chord"
 	"repro/internal/component"
@@ -45,9 +60,15 @@ type Config struct {
 	// EstimatorMult is the multiplier in the size estimator's second step
 	// (the paper uses 4). Zero means 4.
 	EstimatorMult int
-	// DisableCache turns off out-neighbor address caching (Section 3.5);
-	// every token forwarding then pays a fresh DHT lookup (E13 ablation).
+	// DisableCache turns off the Section 3.5 caching layer — both the
+	// out-neighbor address cache and the DHT lookup cache — so every token
+	// forwarding and entry try pays a fresh DHT lookup (E13 ablation).
 	DisableCache bool
+	// LookupCacheSize bounds the churn-invalidated DHT lookup cache used
+	// on the entry and forwarding paths. Zero means
+	// chord.DefaultLookupCacheSize; negative disables the lookup cache
+	// only (the out-neighbor cache stays on).
+	LookupCacheSize int
 	// DisableMerge turns off the merge rule (E18 ablation).
 	DisableMerge bool
 	// InitialNodes is the number of nodes at construction time (>= 1).
@@ -94,11 +115,13 @@ type Metrics struct {
 	Splits       uint64 // component splits
 	Merges       uint64 // component merges
 	WireHops     uint64 // tokens forwarded component-to-component
-	NameLookups  uint64 // DHT name lookups issued
+	NameLookups  uint64 // DHT name lookups issued (cache hits excluded)
 	LookupHops   uint64 // overlay hops spent in those lookups
 	EntryTries   uint64 // names tried to locate an input component
 	CacheHits    uint64 // out-neighbor cache hits
 	CacheMisses  uint64 // out-neighbor cache misses (stale or cold)
+	LCacheHits   uint64 // DHT lookup-cache hits (lookup avoided entirely)
+	LCacheMisses uint64 // DHT lookup-cache misses (fell through to the ring)
 	Moves        uint64 // components transferred due to joins/leaves
 	Repairs      uint64 // components reconstructed after crashes
 	MaintainRuns uint64 // maintenance rounds executed
@@ -128,6 +151,8 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 		EntryTries:   m.EntryTries - prev.EntryTries,
 		CacheHits:    m.CacheHits - prev.CacheHits,
 		CacheMisses:  m.CacheMisses - prev.CacheMisses,
+		LCacheHits:   m.LCacheHits - prev.LCacheHits,
+		LCacheMisses: m.LCacheMisses - prev.LCacheMisses,
 		Moves:        m.Moves - prev.Moves,
 		Repairs:      m.Repairs - prev.Repairs,
 		MaintainRuns: m.MaintainRuns - prev.MaintainRuns,
@@ -138,30 +163,104 @@ func (m Metrics) Sub(prev Metrics) Metrics {
 	}
 }
 
+// counters is the all-atomic internal representation of Metrics: tokens
+// bump these concurrently without any lock.
+type counters struct {
+	tokens       atomic.Uint64
+	splits       atomic.Uint64
+	merges       atomic.Uint64
+	wireHops     atomic.Uint64
+	nameLookups  atomic.Uint64
+	lookupHops   atomic.Uint64
+	entryTries   atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	lcacheHits   atomic.Uint64
+	lcacheMisses atomic.Uint64
+	moves        atomic.Uint64
+	repairs      atomic.Uint64
+	maintainRuns atomic.Uint64
+}
+
+func (c *counters) snapshot() Metrics {
+	return Metrics{
+		Tokens:       c.tokens.Load(),
+		Splits:       c.splits.Load(),
+		Merges:       c.merges.Load(),
+		WireHops:     c.wireHops.Load(),
+		NameLookups:  c.nameLookups.Load(),
+		LookupHops:   c.lookupHops.Load(),
+		EntryTries:   c.entryTries.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		CacheMisses:  c.cacheMisses.Load(),
+		LCacheHits:   c.lcacheHits.Load(),
+		LCacheMisses: c.lcacheMisses.Load(),
+		Moves:        c.moves.Load(),
+		Repairs:      c.repairs.Load(),
+		MaintainRuns: c.maintainRuns.Load(),
+	}
+}
+
 // liveComp is a component currently in the network.
 type liveComp struct {
 	st   *component.State
 	host chord.NodeID
+
 	// nbrs caches the addresses of resolved out-neighbor components
 	// (Section 3.5: "the addresses of the out-neighbors can be cached").
 	// A component has O(1) distinct out-neighbors, so the cache stays
 	// constant-sized; entries are validated on use and dropped when the
-	// neighbor splits, merges or moves.
-	nbrs map[tree.Path]chord.NodeID
+	// neighbor splits, merges or moves. wires additionally memoizes, per
+	// output wire, where the wire leads (network exit, or the path of the
+	// last-resolved neighbor), so a warm forward is two map probes and a
+	// snapshot liveness check — no tree algebra, no allocation. The guard
+	// is per-component — the topology's lock striping — so concurrent
+	// tokens contend only when they leave the same component at the same
+	// instant.
+	nbrsMu sync.Mutex
+	nbrs   map[tree.Path]chord.NodeID
+	wires  map[int]wireDst
 }
 
-// nodeInfo is the per-node view.
+// wireDst is one memoized output-wire destination: either a network exit
+// (pure wire algebra, never stale) or the candidate-chain component the
+// wire last resolved to (validated against the snapshot on every use).
+type wireDst struct {
+	exit   bool
+	netOut int
+	path   tree.Path
+}
+
+// nodeInfo is the per-node view. comps, level and estimate are structural
+// state (guarded by the network's structural lock); tokens is bumped
+// atomically by concurrent traversals.
 type nodeInfo struct {
 	comps    map[tree.Path]bool
 	level    int
 	estimate float64
-	tokens   uint64 // component-processing events on this node
+	tokens   atomic.Uint64 // component-processing events on this node
+}
+
+// topology is one immutable epoch snapshot of the cut. Tokens resolve
+// every component and liveness question against one snapshot; structural
+// operations publish a fresh snapshot (copy-on-write) instead of mutating
+// what tokens see.
+type topology struct {
+	epoch uint64
+	comps map[tree.Path]*liveComp
 }
 
 // Network is a simulated adaptive counting network.
 type Network struct {
-	cfg  Config
-	ring *chord.Ring
+	cfg    Config
+	ring   *chord.Ring
+	lcache *chord.LookupCache // nil when disabled
+
+	// entryLeaf[in] is the leaf path of the input balancer covering
+	// network input wire `in`: the descent from the root is a pure
+	// function of the width, so it is precomputed once instead of being
+	// re-derived (with per-level path allocations) on every injection.
+	entryLeaf []tree.Path
 
 	// Observability handles, fixed at construction (nil when cfg.Obs is
 	// nil); safe to read without the lock.
@@ -174,14 +273,23 @@ type Network struct {
 	hMerge   *obs.Hist // per-merge seconds
 	hRepair  *obs.Hist // per-component repair seconds
 
-	mu       sync.RWMutex
-	rng      *rand.Rand
-	comps    map[tree.Path]*liveComp
-	nodes    map[chord.NodeID]*nodeInfo
-	lost     map[tree.Path]bool // components destroyed by crashes, pending repair
-	injected []uint64
-	out      []uint64
-	metrics  Metrics
+	// mu is the structural lock. Tokens hold it in read mode for their
+	// whole traversal (concurrent with each other); structural operations
+	// hold it exclusively, so they always observe a quiescent network.
+	// comps is the authoritative directory, mutated only under the write
+	// lock; topo is its published epoch snapshot, readable lock-free.
+	mu    sync.RWMutex
+	topo  atomic.Pointer[topology]
+	comps map[tree.Path]*liveComp
+	nodes map[chord.NodeID]*nodeInfo
+	lost  map[tree.Path]bool // components destroyed by crashes, pending repair
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	injected []atomic.Uint64
+	out      []atomic.Uint64
+	metrics  counters
 }
 
 // New creates an adaptive network of the given width with
@@ -207,11 +315,28 @@ func New(cfg Config) (*Network, error) {
 		comps:    make(map[tree.Path]*liveComp),
 		nodes:    make(map[chord.NodeID]*nodeInfo),
 		lost:     make(map[tree.Path]bool),
-		injected: make([]uint64, cfg.Width),
-		out:      make([]uint64, cfg.Width),
+		injected: make([]atomic.Uint64, cfg.Width),
+		out:      make([]atomic.Uint64, cfg.Width),
+	}
+	if !cfg.DisableCache && cfg.LookupCacheSize >= 0 {
+		n.lcache = chord.NewLookupCache(n.ring, cfg.LookupCacheSize)
+	}
+	n.entryLeaf = make([]tree.Path, cfg.Width)
+	for in := 0; in < cfg.Width; in++ {
+		cur, wire := root, in
+		for !cur.IsLeaf() {
+			ci, cin := tree.ChildInput(cur.Kind, cur.Width, wire)
+			child, err := cur.Child(ci)
+			if err != nil {
+				return nil, err
+			}
+			cur, wire = child, cin
+		}
+		n.entryLeaf[in] = cur.Path
 	}
 	if reg := cfg.Obs; reg != nil {
 		n.ring.Instrument(reg)
+		n.lcache.Instrument(reg)
 		n.hTokE2E = reg.Histogram("core.token.seconds", 0, 0.01, 1000)
 		n.hTokWire = reg.Histogram("core.token.wirehops", 0, 128, 128)
 		n.hTokLook = reg.Histogram("core.token.lookups", 0, 64, 64)
@@ -232,7 +357,31 @@ func New(cfg Config) (*Network, error) {
 		return nil, err
 	}
 	n.placeLocked(root.Path, component.New(root), host)
+	n.publishLocked()
 	return n, nil
+}
+
+// publishLocked publishes a fresh immutable snapshot of the authoritative
+// component directory. Called at the end of every structural operation
+// (under the write lock); tokens pick up the new epoch on their next
+// injection.
+func (n *Network) publishLocked() {
+	comps := make(map[tree.Path]*liveComp, len(n.comps))
+	for p, lc := range n.comps {
+		comps[p] = lc
+	}
+	epoch := uint64(1)
+	if old := n.topo.Load(); old != nil {
+		epoch = old.epoch + 1
+	}
+	n.topo.Store(&topology{epoch: epoch, comps: comps})
+}
+
+// TopologyEpoch returns the current snapshot epoch: it increases by one
+// per published structural change batch and is the version the routing
+// path resolves against.
+func (n *Network) TopologyEpoch() uint64 {
+	return n.topo.Load().epoch
 }
 
 // Width returns the network width w.
@@ -243,23 +392,25 @@ func (n *Network) NumNodes() int { return n.ring.Size() }
 
 // NumComponents returns the current number of live components.
 func (n *Network) NumComponents() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.comps)
+	return len(n.topo.Load().comps)
 }
 
 // Metrics returns a snapshot of the cumulative counters, including the
 // overlay transport's message-level counters.
 func (n *Network) Metrics() Metrics {
-	n.mu.RLock()
-	m := n.metrics
-	n.mu.RUnlock()
+	m := n.metrics.snapshot()
 	st, cs := n.ring.NetStats()
 	m.MsgsSent = st.Sent
 	m.MsgsDropped = st.Dropped
 	m.MsgsRetried = cs.Retries
 	m.MsgsDeduped = st.DedupHits
 	return m
+}
+
+// LookupCacheStats returns the DHT lookup cache's hit/miss/flush counters
+// (all zero when the cache is disabled).
+func (n *Network) LookupCacheStats() chord.LookupCacheStats {
+	return n.lcache.Stats()
 }
 
 // Nodes returns the current overlay node identifiers.
@@ -271,7 +422,12 @@ func (n *Network) Tracer() *obs.Tracer { return n.tracer }
 
 // placeLocked inserts a component on a host.
 func (n *Network) placeLocked(p tree.Path, st *component.State, host chord.NodeID) {
-	n.comps[p] = &liveComp{st: st, host: host, nbrs: make(map[tree.Path]chord.NodeID)}
+	n.comps[p] = &liveComp{
+		st:    st,
+		host:  host,
+		nbrs:  make(map[tree.Path]chord.NodeID),
+		wires: make(map[int]wireDst),
+	}
 	n.nodes[host].comps[p] = true
 }
 
@@ -296,6 +452,7 @@ func (n *Network) AddNode() chord.NodeID {
 	id := n.ring.Join()
 	n.nodes[id] = &nodeInfo{comps: make(map[tree.Path]bool)}
 	n.reconcileOwnersLocked()
+	n.publishLocked()
 	return id
 }
 
@@ -334,9 +491,10 @@ func (n *Network) RemoveNode(id chord.NodeID) error {
 		}
 		lc.host = host
 		n.nodes[host].comps[p] = true
-		n.metrics.Moves++
+		n.metrics.moves.Add(1)
 	}
 	n.reconcileOwnersLocked()
+	n.publishLocked()
 	return nil
 }
 
@@ -371,6 +529,7 @@ func (n *Network) CrashNode(id chord.NodeID) error {
 		n.lost[p] = true
 	}
 	n.reconcileOwnersLocked()
+	n.publishLocked()
 	return nil
 }
 
@@ -384,8 +543,8 @@ func (n *Network) CrashRandomNode() (chord.NodeID, error) {
 }
 
 func (n *Network) randomNode() (chord.NodeID, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
 	return n.ring.RandomNode(n.rng)
 }
 
@@ -405,6 +564,6 @@ func (n *Network) reconcileOwnersLocked() {
 		}
 		lc.host = host
 		n.nodes[host].comps[p] = true
-		n.metrics.Moves++
+		n.metrics.moves.Add(1)
 	}
 }

@@ -33,6 +33,7 @@ func (n *Network) refreshEstimatesLocked() error {
 func (n *Network) Maintain() (bool, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	defer n.publishLocked()
 	return n.maintainLocked()
 }
 
@@ -42,6 +43,7 @@ func (n *Network) Maintain() (bool, error) {
 func (n *Network) MaintainToFixpoint(maxRounds int) (int, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	defer n.publishLocked()
 	for round := 0; round < maxRounds; round++ {
 		changed, err := n.maintainLocked()
 		if err != nil {
@@ -61,7 +63,7 @@ func (n *Network) maintainLocked() (bool, error) {
 	if err := n.refreshEstimatesLocked(); err != nil {
 		return false, err
 	}
-	n.metrics.MaintainRuns++
+	n.metrics.maintainRuns.Add(1)
 	changed := false
 
 	// Deterministic node order keeps runs reproducible.
@@ -220,7 +222,7 @@ func (n *Network) splitLocked(p tree.Path) error {
 		}
 		n.placeLocked(child.Path, component.NewWithTotal(child, totals[i]), host)
 	}
-	n.metrics.Splits++
+	n.metrics.splits.Add(1)
 	n.hSplit.Since(start)
 	return nil
 }
@@ -268,7 +270,7 @@ func (n *Network) mergeLocked(p tree.Path) error {
 		return err
 	}
 	n.placeLocked(p, component.NewWithTotal(c, total), host)
-	n.metrics.Merges++
+	n.metrics.merges.Add(1)
 	n.hMerge.Since(start)
 	return nil
 }
@@ -284,7 +286,7 @@ func (n *Network) inputCountsLocked(c tree.Component) ([]uint64, error) {
 			return nil, err
 		}
 		if fromNet {
-			inputs[in] = n.injected[netIn]
+			inputs[in] = n.injected[netIn].Load()
 			continue
 		}
 		cnt, err := n.emittedOnLocked(src, srcOut)

@@ -21,6 +21,7 @@ import (
 func (n *Network) Stabilize() (int, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	defer n.publishLocked()
 
 	repaired := 0
 	for len(n.lost) > 0 {
@@ -56,7 +57,7 @@ func (n *Network) Stabilize() (int, error) {
 			}
 			n.placeLocked(p, component.NewWithTotal(c, total), host)
 			delete(n.lost, p)
-			n.metrics.Repairs++
+			n.metrics.repairs.Add(1)
 			n.hRepair.Since(begin)
 			repaired++
 			progress = true
@@ -147,7 +148,7 @@ func (n *Network) Audit(repair bool) (int, error) {
 		inconsistent++
 		if repair {
 			lc.st.SetTotal(expected)
-			n.metrics.Repairs++
+			n.metrics.repairs.Add(1)
 		}
 	}
 	return inconsistent, nil

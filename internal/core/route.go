@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/chord"
@@ -27,14 +29,25 @@ type TokenTrace struct {
 	LookupHops int
 	// CacheHits and CacheMisses count out-neighbor cache use.
 	CacheHits, CacheMisses int
+	// LCacheHits and LCacheMisses count DHT lookup-cache use: a hit
+	// resolved a name with zero overlay messages (and is therefore not
+	// counted in NameLookups/LookupHops), a miss fell through to a real
+	// metered lookup.
+	LCacheHits, LCacheMisses int
 }
 
 // Client injects tokens into the network. It remembers the input component
 // it last used (Section 3.5: "if it remembers the component that it had
 // sent its previous tokens to") and issues its DHT lookups from a fixed
 // overlay node, the client's access point.
+//
+// A Client is not safe for concurrent use — it models one token-issuing
+// process. Concurrent load comes from many clients: each goroutine makes
+// its own with NewClient, and their injections proceed in parallel (tokens
+// hold the network's structural lock only in read mode).
 type Client struct {
 	net       *Network
+	rng       *rand.Rand
 	at        chord.NodeID
 	lastEntry tree.Path
 	hasLast   bool
@@ -42,35 +55,41 @@ type Client struct {
 
 // NewClient creates a client whose lookups start at a random overlay node.
 func (n *Network) NewClient() (*Client, error) {
-	n.mu.Lock()
+	n.rngMu.Lock()
 	at, err := n.ring.RandomNode(n.rng)
-	n.mu.Unlock()
+	seed := n.rng.Int63()
+	n.rngMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return &Client{net: n, at: at}, nil
+	return &Client{net: n, rng: rand.New(rand.NewSource(seed)), at: at}, nil
 }
 
 // Inject sends one token into a random input wire and returns its trace.
 func (c *Client) Inject() (TokenTrace, error) {
-	c.net.mu.Lock()
-	in := c.net.rng.Intn(c.net.cfg.Width)
-	c.net.mu.Unlock()
-	return c.InjectAt(in)
+	return c.InjectAt(c.rng.Intn(c.net.cfg.Width))
 }
 
 // InjectAt sends one token into the given network input wire.
+//
+// The traversal is designed to run concurrently with other tokens: the
+// structural lock is held in read mode (tokens never exclude each other),
+// the topology is resolved against the current epoch snapshot, wire
+// assignment is the component's lock-free fetch-add, and all counters are
+// atomics. The only cross-token write contention is CAS retries on shared
+// balancers and the per-component out-neighbor cache stripe.
 func (c *Client) InjectAt(in int) (TokenTrace, error) {
 	n := c.net
 	if in < 0 || in >= n.cfg.Width {
 		return TokenTrace{}, fmt.Errorf("core: input wire %d out of range [0,%d)", in, n.cfg.Width)
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	t := n.topo.Load()
 
 	if !n.ring.Contains(c.at) {
 		// The client's access point left; reattach to a random node.
-		at, err := n.ring.RandomNode(n.rng)
+		at, err := n.ring.RandomNode(c.rng)
 		if err != nil {
 			return TokenTrace{}, err
 		}
@@ -84,35 +103,40 @@ func (c *Client) InjectAt(in int) (TokenTrace, error) {
 	}
 
 	var tr TokenTrace
-	entry, err := n.findEntryLocked(c, in, &tr, sp)
+	entry, err := n.findEntry(t, c, in, &tr, sp)
 	if err != nil {
 		return TokenTrace{}, err
 	}
-	n.injected[in]++
-	n.metrics.Tokens++
+	n.injected[in].Add(1)
+	n.metrics.tokens.Add(1)
 
 	cur := entry
 	for {
-		lc := n.comps[cur.Path]
+		lc := t.comps[cur.Path]
 		if lc == nil {
 			return TokenTrace{}, fmt.Errorf("core: component %v vanished mid-route", cur)
 		}
 		tr.WireHops++
 		if host := n.nodes[lc.host]; host != nil {
-			host.tokens++
+			host.tokens.Add(1)
 		}
-		o := lc.st.Step()
+		o, ok := lc.st.TryStep()
+		if !ok {
+			// Unreachable: core freezes components only under the exclusive
+			// structural lock, which cannot be held while tokens traverse.
+			return TokenTrace{}, fmt.Errorf("core: component %v frozen mid-route", cur)
+		}
 		if sp != nil {
 			sp.Event("comp", string(cur.Path), int64(o))
 		}
-		next, exited, netOut, err := n.resolveNextLocked(lc, cur, o, &tr, sp)
+		next, exited, netOut, err := n.resolveNext(t, lc, cur, o, &tr, sp)
 		if err != nil {
 			return TokenTrace{}, err
 		}
 		if exited {
 			tr.OutWire = netOut
-			tr.Value = n.out[netOut]*uint64(n.cfg.Width) + uint64(netOut)
-			n.out[netOut]++
+			m := n.out[netOut].Add(1) - 1
+			tr.Value = m*uint64(n.cfg.Width) + uint64(netOut)
 			n.mergeTrace(tr)
 			if n.hTokE2E != nil {
 				n.hTokE2E.Observe(time.Since(start).Seconds())
@@ -130,20 +154,37 @@ func (c *Client) InjectAt(in int) (TokenTrace, error) {
 	}
 }
 
-// mergeTrace folds a token trace into the cumulative metrics. Caller holds
-// the write lock.
+// mergeTrace folds a token trace into the cumulative metrics.
 func (n *Network) mergeTrace(tr TokenTrace) {
-	n.metrics.WireHops += uint64(tr.WireHops)
-	n.metrics.NameLookups += uint64(tr.NameLookups)
-	n.metrics.LookupHops += uint64(tr.LookupHops)
-	n.metrics.EntryTries += uint64(tr.EntryTries)
-	n.metrics.CacheHits += uint64(tr.CacheHits)
-	n.metrics.CacheMisses += uint64(tr.CacheMisses)
+	n.metrics.wireHops.Add(uint64(tr.WireHops))
+	n.metrics.nameLookups.Add(uint64(tr.NameLookups))
+	n.metrics.lookupHops.Add(uint64(tr.LookupHops))
+	n.metrics.entryTries.Add(uint64(tr.EntryTries))
+	n.metrics.cacheHits.Add(uint64(tr.CacheHits))
+	n.metrics.cacheMisses.Add(uint64(tr.CacheMisses))
+	n.metrics.lcacheHits.Add(uint64(tr.LCacheHits))
+	n.metrics.lcacheMisses.Add(uint64(tr.LCacheMisses))
 }
 
-// lookupLocked meters one DHT lookup for a component name issued from
-// node at, and reports whether the component is live (and where).
-func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace, sp *obs.Span) (chord.NodeID, bool, error) {
+// lookup meters one DHT lookup for the component name at path p issued
+// from node at, and reports whether the component is live in snapshot t
+// (and where it is hosted). The lookup cache absorbs repeat resolutions: a
+// hit costs zero overlay messages and is excluded from the
+// NameLookups/LookupHops meters, which count only lookups the ring
+// actually performed.
+func (n *Network) lookup(t *topology, at chord.NodeID, p tree.Path, tr *TokenTrace, sp *obs.Span) (chord.NodeID, bool, error) {
+	key := string(p)
+	cached, v, ok := n.lcache.Get(key)
+	if ok {
+		tr.LCacheHits++
+		if sp != nil {
+			sp.Event("lookup-cached", key, 0)
+		}
+		if lc := t.comps[p]; lc != nil {
+			return lc.host, true, nil
+		}
+		return cached, false, nil
+	}
 	c, err := tree.ComponentAt(n.cfg.Width, p)
 	if err != nil {
 		return 0, false, err
@@ -154,33 +195,28 @@ func (n *Network) lookupLocked(at chord.NodeID, p tree.Path, tr *TokenTrace, sp 
 	}
 	tr.NameLookups++
 	tr.LookupHops += hops
+	if n.lcache != nil {
+		tr.LCacheMisses++
+		// v carries the pre-lookup membership version; Put drops the entry
+		// if churn raced the lookup.
+		n.lcache.Put(v, key, owner)
+	}
 	if sp != nil {
-		sp.Event("lookup", string(p), int64(hops))
+		sp.Event("lookup", key, int64(hops))
 	}
-	lc := n.comps[p]
-	if lc == nil {
-		return owner, false, nil
+	if lc := t.comps[p]; lc != nil {
+		return lc.host, true, nil
 	}
-	return lc.host, true, nil
+	return owner, false, nil
 }
 
-// findEntryLocked locates the live input component covering input wire in
-// by trying names on the input balancer's ancestor chain (Section 3.5
-// bounds this by the chain length).
-func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace, sp *obs.Span) (tree.Component, error) {
-	// The input balancer for wire in is the leaf reached by descending the
-	// input maps from the root.
-	cur := tree.MustRoot(n.cfg.Width)
-	wire := in
-	for !cur.IsLeaf() {
-		ci, cin := tree.ChildInput(cur.Kind, cur.Width, wire)
-		child, err := cur.Child(ci)
-		if err != nil {
-			return tree.Component{}, err
-		}
-		cur, wire = child, cin
-	}
-	leaf := cur.Path
+// findEntry locates the live input component covering input wire in by
+// trying names on the input balancer's ancestor chain (Section 3.5 bounds
+// this by the chain length).
+func (n *Network) findEntry(t *topology, c *Client, in int, tr *TokenTrace, sp *obs.Span) (tree.Component, error) {
+	// The input balancer for wire in is a pure function of the width,
+	// precomputed at construction.
+	leaf := n.entryLeaf[in]
 	maxLevel := len(leaf)
 
 	try := func(p tree.Path) (bool, error) {
@@ -188,7 +224,7 @@ func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace, sp *obs.Spa
 		if sp != nil {
 			sp.Event("entry-try", string(p), 0)
 		}
-		_, live, err := n.lookupLocked(c.at, p, tr, sp)
+		_, live, err := n.lookup(t, c.at, p, tr, sp)
 		if err != nil {
 			return false, err
 		}
@@ -202,22 +238,23 @@ func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace, sp *obs.Spa
 	// of its ancestor chain. A client that remembers where its previous
 	// token entered tries that level first, then zigzags outward — in
 	// steady state one try suffices; a fresh client walks the chain from
-	// the leaf upward (at most log(w) tries, Section 3.5).
+	// the leaf upward (at most log(w) tries, Section 3.5). The tried-set
+	// is a bitmask: levels are < 64 for any realizable width.
 	if c.hasLast {
 		last := len(c.lastEntry)
-		tried := make(map[int]bool, maxLevel+1)
+		var tried uint64
 		for delta := 0; delta <= maxLevel; delta++ {
 			for _, lvl := range []int{last + delta, last - delta} {
-				if lvl < 0 || lvl > maxLevel || tried[lvl] {
+				if lvl < 0 || lvl > maxLevel || tried&(1<<uint(lvl)) != 0 {
 					continue
 				}
-				tried[lvl] = true
+				tried |= 1 << uint(lvl)
 				live, err := try(leaf[:lvl])
 				if err != nil {
 					return tree.Component{}, err
 				}
 				if live {
-					return tree.ComponentAt(n.cfg.Width, leaf[:lvl])
+					return t.comps[leaf[:lvl]].st.Comp, nil
 				}
 				if delta == 0 {
 					break // the two candidates coincide
@@ -233,14 +270,24 @@ func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace, sp *obs.Spa
 			return tree.Component{}, err
 		}
 		if live {
-			return tree.ComponentAt(n.cfg.Width, leaf[:lvl])
+			return t.comps[leaf[:lvl]].st.Comp, nil
 		}
 	}
 	return tree.Component{}, fmt.Errorf("core: no input component covers wire %d", in)
 }
 
-// resolveNextLocked resolves where a token leaving component cur on output
-// wire o goes, using and maintaining cur's out-neighbor address cache.
+// chainPool recycles the candidate-chain scratch slices of resolveNext:
+// forwarding is the hottest loop in the system and the chain is the only
+// per-hop slice it needs.
+var chainPool = sync.Pool{
+	New: func() any {
+		s := make([]tree.Component, 0, 16)
+		return &s
+	},
+}
+
+// resolveNext resolves where a token leaving component cur on output wire
+// o goes, using and maintaining cur's out-neighbor address cache.
 //
 // The wire algebra (climbing out of parents, descending into the sibling
 // subtree) is pure local computation; the DHT is needed only to learn
@@ -249,11 +296,48 @@ func (n *Network) findEntryLocked(c *Client, in int, tr *TokenTrace, sp *obs.Spa
 // candidate chain, finds a cached neighbor on it, and sends directly; a
 // stale entry bounces (metered as a cache miss) and triggers a fresh
 // resolution.
-func (n *Network) resolveNextLocked(lc *liveComp, cur tree.Component, o int, tr *TokenTrace, sp *obs.Span) (next tree.Component, exited bool, netOut int, err error) {
+func (n *Network) resolveNext(t *topology, lc *liveComp, cur tree.Component, o int, tr *TokenTrace, sp *obs.Span) (next tree.Component, exited bool, netOut int, err error) {
+	// Fast path: the per-wire destination memo. A network exit is pure
+	// wire algebra and never goes stale; a memoized neighbor is used only
+	// if it is still live on the snapshot at the cached host (the §3.5
+	// "direct send" succeeding), otherwise it bounces like any stale
+	// cache entry and the wire is re-resolved below.
+	if !n.cfg.DisableCache {
+		lc.nbrsMu.Lock()
+		if d, ok := lc.wires[o]; ok {
+			if d.exit {
+				lc.nbrsMu.Unlock()
+				return tree.Component{}, true, d.netOut, nil
+			}
+			if host, cached := lc.nbrs[d.path]; cached {
+				if got := t.comps[d.path]; got != nil && got.host == host {
+					lc.nbrsMu.Unlock()
+					tr.CacheHits++
+					if sp != nil {
+						sp.Event("cache-hit", string(d.path), 0)
+					}
+					return got.st.Comp, false, 0, nil
+				}
+				tr.CacheMisses++
+				if sp != nil {
+					sp.Event("cache-miss", string(d.path), 0)
+				}
+				delete(lc.nbrs, d.path)
+			}
+			delete(lc.wires, o)
+		}
+		lc.nbrsMu.Unlock()
+	}
+
 	node, wire := cur, o
 	for {
 		parent, idx, ok := node.Parent(n.cfg.Width)
 		if !ok {
+			if !n.cfg.DisableCache {
+				lc.nbrsMu.Lock()
+				lc.wires[o] = wireDst{exit: true, netOut: wire}
+				lc.nbrsMu.Unlock()
+			}
 			return tree.Component{}, true, wire, nil
 		}
 		d := tree.ChildNext(parent.Kind, parent.Width, idx, wire)
@@ -266,15 +350,28 @@ func (n *Network) resolveNextLocked(lc *liveComp, cur tree.Component, o int, tr 
 			return tree.Component{}, false, 0, cerr
 		}
 		wire = d.ChildIn
-		return n.descendToLiveLocked(lc, target, wire, tr, sp)
+		next, exited, netOut, err = n.descendToLive(t, lc, target, wire, tr, sp)
+		if err == nil && !exited && !n.cfg.DisableCache {
+			lc.nbrsMu.Lock()
+			lc.wires[o] = wireDst{path: next.Path}
+			lc.nbrsMu.Unlock()
+		}
+		return next, exited, netOut, err
 	}
 }
 
-// descendToLiveLocked finds the live component covering (target, wire),
-// consulting the sender's neighbor cache before issuing DHT lookups.
-func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire int, tr *TokenTrace, sp *obs.Span) (tree.Component, bool, int, error) {
+// descendToLive finds the live component covering (target, wire),
+// consulting the sender's neighbor cache before issuing DHT lookups. The
+// neighbor cache is guarded by the sending component's own mutex (lock
+// striping): tokens leaving different components never contend.
+func (n *Network) descendToLive(t *topology, lc *liveComp, target tree.Component, wire int, tr *TokenTrace, sp *obs.Span) (tree.Component, bool, int, error) {
 	// Compute the candidate chain locally (free).
-	chain := []tree.Component{target}
+	chainp := chainPool.Get().(*[]tree.Component)
+	chain := append((*chainp)[:0], target)
+	defer func() {
+		*chainp = chain[:0]
+		chainPool.Put(chainp)
+	}()
 	cwire := wire
 	for cur := target; !cur.IsLeaf(); {
 		ci, cin := tree.ChildInput(cur.Kind, cur.Width, cwire)
@@ -287,12 +384,14 @@ func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire 
 	}
 
 	if !n.cfg.DisableCache {
+		lc.nbrsMu.Lock()
 		for _, cand := range chain {
 			host, cached := lc.nbrs[cand.Path]
 			if !cached {
 				continue
 			}
-			if got := n.comps[cand.Path]; got != nil && got.host == host {
+			if got := t.comps[cand.Path]; got != nil && got.host == host {
+				lc.nbrsMu.Unlock()
 				tr.CacheHits++
 				if sp != nil {
 					sp.Event("cache-hit", string(cand.Path), 0)
@@ -306,17 +405,20 @@ func (n *Network) descendToLiveLocked(lc *liveComp, target tree.Component, wire 
 			}
 			delete(lc.nbrs, cand.Path)
 		}
+		lc.nbrsMu.Unlock()
 	}
 
 	// Cold or stale: walk the chain with metered DHT lookups.
 	for _, cand := range chain {
-		host, live, err := n.lookupLocked(lc.host, cand.Path, tr, sp)
+		host, live, err := n.lookup(t, lc.host, cand.Path, tr, sp)
 		if err != nil {
 			return tree.Component{}, false, 0, err
 		}
 		if live {
 			if !n.cfg.DisableCache {
+				lc.nbrsMu.Lock()
 				lc.nbrs[cand.Path] = host
+				lc.nbrsMu.Unlock()
 			}
 			return cand, false, 0, nil
 		}

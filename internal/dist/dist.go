@@ -71,10 +71,13 @@ const (
 
 // arriveReq asks a component to accept a token on an input wire. Token is
 // the sender's endpoint, where a resume message goes if the component is
-// frozen and stores the token.
+// frozen and stores the token; Seq identifies which token currently owns
+// that endpoint (endpoints are pooled and reused, so a straggling resume
+// for an earlier token must be distinguishable from the current one's).
 type arriveReq struct {
 	Wire  int
 	Token transport.Addr
+	Seq   uint64
 }
 
 // arriveStatus is the outcome of an arrive RPC.
@@ -101,22 +104,33 @@ type freezeRes struct {
 	Processed []uint64
 }
 
-// resumeMsg tells a stored token where to re-enter the network.
+// resumeMsg tells a stored token where to re-enter the network. Seq echoes
+// the arriveReq's token sequence number so a reused endpoint can discard
+// resumes addressed to a previous occupant (duplicated or delayed
+// deliveries on a faulty fabric).
 type resumeMsg struct {
 	Path tree.Path
 	Wire int
+	Seq  uint64
 }
 
 // queuedToken is a token stored at a frozen component.
 type queuedToken struct {
 	wire int
 	tok  transport.Addr
+	seq  uint64
 }
 
 // comp is a live component incarnation plus its protocol state.
 type comp struct {
 	c    tree.Component
 	addr transport.Addr
+
+	// resProcessed[out] is the pre-boxed arrive reply for output wire out:
+	// the arrive RPC is the hottest message in the system, and returning a
+	// shared immutable boxed value instead of boxing a fresh arriveRes per
+	// hop removes one allocation per token per component.
+	resProcessed []any
 
 	mu      sync.Mutex
 	state   compState
@@ -162,14 +176,37 @@ type Cluster struct {
 	// stale signal costs one extra check, never a missed one.
 	drainCh chan struct{}
 
-	topo  sync.RWMutex // guards comps (the cut)
-	comps map[tree.Path]*comp
+	// topo is the epoch-snapshot topology: an immutable path→component map
+	// published via atomic pointer. Tokens resolve against whatever
+	// snapshot is current when they look — no read lock, no blocking on an
+	// in-flight Split/Merge. Reconfigurations (serialized by reconfig)
+	// clone the map, mutate the clone, and publish it; the freeze protocol
+	// already handles tokens that resolved against the older snapshot (the
+	// dead incarnation answers statusDead and the token re-resolves).
+	topo atomic.Pointer[map[tree.Path]*comp]
 
-	cmu      sync.Mutex // guards the edge counters
-	out      []uint64
-	injected []uint64
+	out      []atomic.Uint64 // per-output-wire emission counters
+	injected []atomic.Uint64 // per-input-wire injection counters
+
+	// eps is a bounded free-list of token endpoints. Binding a fresh
+	// endpoint per token costs an address allocation plus a map insert and
+	// delete in the fabric's switch under its lock; pooling amortizes that
+	// across tokens. A channel (not sync.Pool) so endpoints are never
+	// dropped by GC while still bound in the fabric.
+	eps chan *tokenEP
 
 	reconfig sync.Mutex // serializes Split/Merge against each other only
+}
+
+// tokenEP is a pooled token endpoint: a bound transport address plus the
+// resume mailbox. cur holds the sequence number of the token currently
+// using the endpoint (0 = idle); the endpoint handler and the resume
+// receive loop both discard messages whose Seq doesn't match, so a
+// straggling or duplicated resume for a previous occupant is inert.
+type tokenEP struct {
+	addr   transport.Addr
+	resume chan resumeMsg
+	cur    atomic.Uint64
 }
 
 // New creates a cluster implementing BITONIC[w] with the given cut over an
@@ -190,21 +227,23 @@ func NewOn(w int, cut tree.Cut, tr transport.Transport, retry transport.RetryCon
 		tr:       tr,
 		rc:       transport.NewClient(tr, retry),
 		drainCh:  make(chan struct{}, 1),
-		comps:    make(map[tree.Path]*comp, len(cut)),
-		out:      make([]uint64, w),
-		injected: make([]uint64, w),
+		out:      make([]atomic.Uint64, w),
+		injected: make([]atomic.Uint64, w),
+		eps:      make(chan *tokenEP, 256),
 	}
 	comps, err := cut.Components(w)
 	if err != nil {
 		return nil, err
 	}
+	m := make(map[tree.Path]*comp, len(cut))
 	for _, c := range comps {
 		cm := &comp{c: c, state: stateActive, arrived: make([]uint64, c.Width)}
 		if err := cl.bind(cm); err != nil {
 			return nil, err
 		}
-		cl.comps[c.Path] = cm
+		m[c.Path] = cm
 	}
+	cl.topo.Store(&m)
 	return cl, nil
 }
 
@@ -218,10 +257,20 @@ func NewRootOnly(w int) (*Cluster, error) {
 // their dedup state rather than reaching a successor incarnation.
 func (cl *Cluster) bind(cm *comp) error {
 	cm.addr = transport.Addr(fmt.Sprintf("c:%s#%d", cm.c.Path, cl.gen.Add(1)))
+	cm.resProcessed = make([]any, cm.c.Width)
+	for out := range cm.resProcessed {
+		cm.resProcessed[out] = arriveRes{Status: statusProcessed, Out: out}
+	}
 	return cl.tr.Bind(cm.addr, func(req transport.Request) (any, error) {
 		return cl.compRPC(cm, req)
 	})
 }
+
+// Pre-boxed arrive replies for the outcomes that carry no output wire.
+var (
+	resDead   any = arriveRes{Status: statusDead}
+	resQueued any = arriveRes{Status: statusQueued}
+)
 
 // compRPC serves one component endpoint.
 func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
@@ -238,19 +287,19 @@ func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 		switch cm.state {
 		case stateDead:
 			cm.mu.Unlock()
-			return arriveRes{Status: statusDead}, nil
+			return resDead, nil
 		case stateFrozen:
 			cm.arrived[ar.Wire]++
-			cm.queue = append(cm.queue, queuedToken{wire: ar.Wire, tok: ar.Token})
+			cm.queue = append(cm.queue, queuedToken{wire: ar.Wire, tok: ar.Token, seq: ar.Seq})
 			cm.mu.Unlock()
-			return arriveRes{Status: statusQueued}, nil
+			return resQueued, nil
 		default:
 			cm.arrived[ar.Wire]++
 			out := int(cm.total % uint64(cm.c.Width))
 			cm.total++
 			cm.mu.Unlock()
 			cl.signalDrain()
-			return arriveRes{Status: statusProcessed, Out: out}, nil
+			return cm.resProcessed[out], nil
 		}
 	case kindFreeze:
 		cm.mu.Lock()
@@ -278,13 +327,26 @@ func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 			go func() {
 				// ErrUnreachable means the token already finished (its
 				// endpoint unbound) — only possible for duplicates.
-				_, _ = cl.rc.Call(cm.addr, q.tok, kindResume, resumeMsg{Path: cm.c.Path, Wire: q.wire})
+				_, _ = cl.rc.Call(cm.addr, q.tok, kindResume, resumeMsg{Path: cm.c.Path, Wire: q.wire, Seq: q.seq})
 			}()
 		}
 		return len(queue), nil
 	default:
 		return nil, fmt.Errorf("dist: unknown RPC kind %q", req.Kind)
 	}
+}
+
+// publish installs a new topology snapshot: clone the current map, apply
+// mutate, store. Only reconfigurations call it (serialized by reconfig),
+// so clone-and-swap cannot lose concurrent updates.
+func (cl *Cluster) publish(mutate func(map[tree.Path]*comp)) {
+	old := *cl.topo.Load()
+	m := make(map[tree.Path]*comp, len(old)+2)
+	for p, cm := range old {
+		m[p] = cm
+	}
+	mutate(m)
+	cl.topo.Store(&m)
 }
 
 // signalDrain wakes a merge waiting on the conservation invariant.
@@ -300,17 +362,14 @@ func (cl *Cluster) Width() int { return cl.w }
 
 // Size returns the number of live components.
 func (cl *Cluster) Size() int {
-	cl.topo.RLock()
-	defer cl.topo.RUnlock()
-	return len(cl.comps)
+	return len(*cl.topo.Load())
 }
 
 // Cut returns the current cut.
 func (cl *Cluster) Cut() tree.Cut {
-	cl.topo.RLock()
-	defer cl.topo.RUnlock()
-	cut := make(tree.Cut, len(cl.comps))
-	for p := range cl.comps {
+	comps := *cl.topo.Load()
+	cut := make(tree.Cut, len(comps))
+	for p := range comps {
 		cut[p] = true
 	}
 	return cut
@@ -351,9 +410,51 @@ func (cl *Cluster) Trace(every, retain int) *obs.Tracer {
 // Tracer returns the span sampler, or nil when tracing is off.
 func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
 
-// tokenAddr is the endpoint of one in-flight token.
-func tokenAddr(seq uint64) transport.Addr {
-	return transport.Addr(fmt.Sprintf("t:%d", seq))
+// getEP takes a token endpoint from the free-list, binding a fresh one
+// when the list is empty.
+func (cl *Cluster) getEP() (*tokenEP, error) {
+	select {
+	case ep := <-cl.eps:
+		return ep, nil
+	default:
+	}
+	ep := &tokenEP{
+		addr:   transport.Addr(fmt.Sprintf("t:%d", cl.tokSeq.Add(1))),
+		resume: make(chan resumeMsg, 8),
+	}
+	if err := cl.tr.Bind(ep.addr, func(req transport.Request) (any, error) {
+		rm, ok := req.Body.(resumeMsg)
+		if !ok {
+			return nil, fmt.Errorf("dist: resume body %T", req.Body)
+		}
+		if rm.Seq == ep.cur.Load() {
+			ep.resume <- rm
+		}
+		return true, nil
+	}); err != nil {
+		return nil, err
+	}
+	return ep, nil
+}
+
+// putEP returns an endpoint to the free-list, unbinding it when the list
+// is full. Stale resumes buffered by a straggler are drained first so the
+// next occupant starts with an empty mailbox.
+func (cl *Cluster) putEP(ep *tokenEP) {
+	ep.cur.Store(0)
+	for {
+		select {
+		case <-ep.resume:
+			continue
+		default:
+		}
+		break
+	}
+	select {
+	case cl.eps <- ep:
+	default:
+		cl.tr.Unbind(ep.addr)
+	}
 }
 
 // Inject routes one token in from network input wire in, concurrently with
@@ -362,26 +463,47 @@ func tokenAddr(seq uint64) transport.Addr {
 // also receives resume control messages when a frozen component stores and
 // later releases the token.
 func (cl *Cluster) Inject(in int) (int, error) {
+	ep, err := cl.getEP()
+	if err != nil {
+		return 0, err
+	}
+	defer cl.putEP(ep)
+	return cl.injectOn(ep, in)
+}
+
+// InjectBatch routes len(ins) tokens in sequence, reusing one pooled token
+// endpoint and one traversal context for the whole batch — the per-token
+// setup cost (endpoint checkout, sequence churn on the free-list) is paid
+// once. Tokens still traverse one at a time: batching amortizes setup, it
+// does not reorder or parallelize the batch itself. It returns the output
+// wire of each token.
+func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
+	ep, err := cl.getEP()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.putEP(ep)
+	outs := make([]int, len(ins))
+	for i, in := range ins {
+		out, err := cl.injectOn(ep, in)
+		if err != nil {
+			return outs[:i], err
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// injectOn routes one token using the given (checked-out) endpoint.
+func (cl *Cluster) injectOn(ep *tokenEP, in int) (int, error) {
 	if in < 0 || in >= cl.w {
 		return 0, fmt.Errorf("dist: input wire %d out of range [0,%d)", in, cl.w)
 	}
-	cl.cmu.Lock()
-	cl.injected[in]++
-	cl.cmu.Unlock()
+	cl.injected[in].Add(1)
 
-	tok := tokenAddr(cl.tokSeq.Add(1))
-	resume := make(chan resumeMsg, 8)
-	if err := cl.tr.Bind(tok, func(req transport.Request) (any, error) {
-		rm, ok := req.Body.(resumeMsg)
-		if !ok {
-			return nil, fmt.Errorf("dist: resume body %T", req.Body)
-		}
-		resume <- rm
-		return true, nil
-	}); err != nil {
-		return 0, err
-	}
-	defer cl.tr.Unbind(tok)
+	seq := cl.tokSeq.Add(1)
+	ep.cur.Store(seq)
+	defer ep.cur.Store(0)
 
 	sp := cl.tracer.Start("token")
 	var begin time.Time
@@ -401,7 +523,7 @@ func (cl *Cluster) Inject(in int) (int, error) {
 		if cl.hHop != nil {
 			hopStart = time.Now()
 		}
-		reply, err := cl.rc.CallSpan(tok, cm.addr, kindArrive, arriveReq{Wire: rwire, Token: tok}, sp)
+		reply, err := cl.rc.CallSpan(ep.addr, cm.addr, kindArrive, arriveReq{Wire: rwire, Token: ep.addr, Seq: seq}, sp)
 		if err != nil {
 			return 0, fmt.Errorf("dist: arrive at %v: %w", cm.c, err)
 		}
@@ -427,7 +549,10 @@ func (cl *Cluster) Inject(in int) (int, error) {
 			if cl.hQueue != nil {
 				qStart = time.Now()
 			}
-			rt := <-resume
+			rt := <-ep.resume
+			for rt.Seq != seq {
+				rt = <-ep.resume // straggler for a previous occupant
+			}
 			cl.hQueue.Since(qStart)
 			if sp != nil {
 				sp.Event("resume", string(rt.Path), int64(rt.Wire))
@@ -443,9 +568,7 @@ func (cl *Cluster) Inject(in int) (int, error) {
 			return 0, err
 		}
 		if exited {
-			cl.cmu.Lock()
-			cl.out[netOut]++
-			cl.cmu.Unlock()
+			cl.out[netOut].Add(1)
 			if cl.hTok != nil {
 				cl.hTok.Observe(time.Since(begin).Seconds())
 			}
@@ -465,12 +588,7 @@ func (cl *Cluster) Inject(in int) (int, error) {
 // address resolution — the analogue of core's cached out-neighbor
 // directory — not a message.
 func (cl *Cluster) findLive(path tree.Path, wire int) (*comp, int, error) {
-	cl.topo.RLock()
-	defer cl.topo.RUnlock()
-	return cl.findLiveLocked(path, wire)
-}
-
-func (cl *Cluster) findLiveLocked(path tree.Path, wire int) (*comp, int, error) {
+	comps := *cl.topo.Load()
 	// Exact or descend.
 	cur, err := tree.ComponentAt(cl.w, path)
 	if err != nil {
@@ -478,7 +596,7 @@ func (cl *Cluster) findLiveLocked(path tree.Path, wire int) (*comp, int, error) 
 	}
 	w := wire
 	for {
-		if cm := cl.comps[cur.Path]; cm != nil {
+		if cm := comps[cur.Path]; cm != nil {
 			return cm, w, nil
 		}
 		if cur.IsLeaf() {
@@ -511,7 +629,7 @@ func (cl *Cluster) findLiveLocked(path tree.Path, wire int) (*comp, int, error) 
 			return nil, 0, fmt.Errorf("dist: token stranded at non-entry %q wire %d", path, wire)
 		}
 		cur, w = parent, pin
-		if cm := cl.comps[cur.Path]; cm != nil {
+		if cm := comps[cur.Path]; cm != nil {
 			return cm, w, nil
 		}
 	}
@@ -526,8 +644,6 @@ type nextHop struct {
 // resolveNext computes where a token leaving component c on output wire o
 // goes under the current cut.
 func (cl *Cluster) resolveNext(c tree.Component, o int) (nextHop, bool, int, error) {
-	cl.topo.RLock()
-	defer cl.topo.RUnlock()
 	node, wire := c, o
 	for {
 		parent, idx, ok := node.Parent(cl.w)
@@ -551,22 +667,18 @@ func (cl *Cluster) resolveNext(c tree.Component, o int) (nextHop, bool, int, err
 
 // OutCounts returns the per-output-wire emission counts.
 func (cl *Cluster) OutCounts() balancer.Seq {
-	cl.cmu.Lock()
-	defer cl.cmu.Unlock()
 	s := make(balancer.Seq, cl.w)
-	for i, v := range cl.out {
-		s[i] = int64(v)
+	for i := range cl.out {
+		s[i] = int64(cl.out[i].Load())
 	}
 	return s
 }
 
 // InCounts returns the per-input-wire injection counts.
 func (cl *Cluster) InCounts() balancer.Seq {
-	cl.cmu.Lock()
-	defer cl.cmu.Unlock()
 	s := make(balancer.Seq, cl.w)
-	for i, v := range cl.injected {
-		s[i] = int64(v)
+	for i := range cl.injected {
+		s[i] = int64(cl.injected[i].Load())
 	}
 	return s
 }
@@ -605,9 +717,7 @@ func (cl *Cluster) Split(p tree.Path) error {
 		begin = time.Now()
 	}
 
-	cl.topo.RLock()
-	cm := cl.comps[p]
-	cl.topo.RUnlock()
+	cm := (*cl.topo.Load())[p]
 	if cm == nil {
 		return fmt.Errorf("dist: split: no live component at %q", p)
 	}
@@ -641,13 +751,15 @@ func (cl *Cluster) Split(p tree.Path) error {
 		}
 	}
 
-	// Swap the topology.
-	cl.topo.Lock()
-	delete(cl.comps, p)
-	for i, child := range children {
-		cl.comps[child.Path] = newComps[i]
-	}
-	cl.topo.Unlock()
+	// Publish a fresh snapshot with the children in place of the parent.
+	// In-flight tokens holding the old snapshot hit the dead incarnation
+	// and re-resolve; tokens resolving from here on see the children.
+	cl.publish(func(m map[tree.Path]*comp) {
+		delete(m, p)
+		for i, child := range children {
+			m[child.Path] = newComps[i]
+		}
+	})
 
 	// Kill the old incarnation; its stored tokens re-enter at (p, wire) and
 	// findLive descends into the children.
@@ -671,12 +783,9 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 	if cl.hMerge != nil {
 		begin = time.Now()
 	}
-	cl.topo.RLock()
-	if cl.comps[p] != nil {
-		cl.topo.RUnlock()
+	if (*cl.topo.Load())[p] != nil {
 		return fmt.Errorf("dist: merge: %q is already live", p)
 	}
-	cl.topo.RUnlock()
 
 	parent, err := tree.ComponentAt(cl.w, p)
 	if err != nil {
@@ -689,21 +798,16 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 
 	// Recursively merge children that are split further.
 	for _, child := range children {
-		cl.topo.RLock()
-		live := cl.comps[child.Path] != nil
-		cl.topo.RUnlock()
-		if !live {
+		if (*cl.topo.Load())[child.Path] == nil {
 			if err := cl.mergeLocked(child.Path); err != nil {
 				return fmt.Errorf("dist: recursive merge of %v: %w", child, err)
 			}
 		}
 	}
 	cms := make([]*comp, len(children))
-	cl.topo.RLock()
 	for i, child := range children {
-		cms[i] = cl.comps[child.Path]
+		cms[i] = (*cl.topo.Load())[child.Path]
 	}
-	cl.topo.RUnlock()
 	for i, cm := range cms {
 		if cm == nil {
 			return fmt.Errorf("dist: merge: child %v missing", children[i])
@@ -786,13 +890,14 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		return err
 	}
 
-	// Phase 4: swap the topology.
-	cl.topo.Lock()
-	for _, child := range children {
-		delete(cl.comps, child.Path)
-	}
-	cl.comps[p] = merged
-	cl.topo.Unlock()
+	// Phase 4: publish a fresh snapshot with the parent in place of the
+	// children.
+	cl.publish(func(m map[tree.Path]*comp) {
+		for _, child := range children {
+			delete(m, child.Path)
+		}
+		m[p] = merged
+	})
 
 	// Phase 5: kill the children; their stored tokens re-enter at
 	// (child, wire) and findLive ascends into the merged parent.

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed `go test -bench` result line in the
+// machine-readable form the repo's BENCH_*.json baselines use.
+type BenchResult struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped
+	// (e.g. "BenchmarkTokenAdaptive/nodes=16").
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS for the run (the -N suffix; 1 when absent).
+	Procs int `json:"procs"`
+	// N is the iteration count.
+	N int64 `json:"n"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the derived rate 1e9/NsPerOp (tokens/sec for the token
+	// benchmarks, where one op is one token).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// BytesPerOp and AllocsPerOp are present when the run used -benchmem.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// BenchRun is one labeled benchmark invocation: the environment header
+// `go test -bench` prints plus its parsed result lines.
+type BenchRun struct {
+	// Label distinguishes runs within a baseline file, e.g. "pre" and
+	// "post" around an optimization, or a git revision.
+	Label   string        `json:"label,omitempty"`
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Notes   string        `json:"notes,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// benchLine matches one result line:
+//
+//	BenchmarkTokenAdaptive/nodes=16-4   619524   2180 ns/op   176 B/op   23 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// ParseGoBench parses the text output of `go test -bench` (any package,
+// -benchmem optional) into result records, capturing the goos/goarch/pkg/
+// cpu header lines into the run. Unrecognized lines are skipped, so the
+// full `go test` output can be piped in unfiltered.
+func ParseGoBench(r io.Reader) (BenchRun, error) {
+	var run BenchRun
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			run.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			run.Pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := BenchResult{Name: m[1], Procs: 1}
+		if m[2] != "" {
+			p, err := strconv.Atoi(m[2])
+			if err != nil {
+				return run, fmt.Errorf("stats: bench procs %q: %w", m[2], err)
+			}
+			res.Procs = p
+		}
+		n, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return run, fmt.Errorf("stats: bench iterations %q: %w", m[3], err)
+		}
+		res.N = n
+		res.NsPerOp, err = strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return run, fmt.Errorf("stats: bench ns/op %q: %w", m[4], err)
+		}
+		if res.NsPerOp > 0 {
+			res.OpsPerSec = 1e9 / res.NsPerOp
+		}
+		rest := strings.Fields(m[5])
+		for i := 0; i+1 < len(rest); i += 2 {
+			v, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			switch rest[i+1] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		run.Results = append(run.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+// WriteBenchJSON writes runs as the indented JSON array format of the
+// repo's BENCH_*.json baseline files.
+func WriteBenchJSON(w io.Writer, runs []BenchRun) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(runs)
+}

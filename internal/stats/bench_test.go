@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkTokenRootComponent 	12515096	        94.17 ns/op
+BenchmarkTokenAdaptive/nodes=16-4     	  619524	      2180 ns/op	     176 B/op	      23 allocs/op
+BenchmarkTokenAdaptive/nodes=128     	   66121	     18042 ns/op	   10304 B/op	     202 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParseGoBench(t *testing.T) {
+	run, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Goos != "linux" || run.Goarch != "amd64" || run.Pkg != "repro" {
+		t.Fatalf("header not captured: %+v", run)
+	}
+	if !strings.Contains(run.CPU, "2.70GHz") {
+		t.Fatalf("cpu not captured: %q", run.CPU)
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(run.Results))
+	}
+
+	r0 := run.Results[0]
+	if r0.Name != "BenchmarkTokenRootComponent" || r0.Procs != 1 || r0.N != 12515096 {
+		t.Fatalf("result 0: %+v", r0)
+	}
+	if r0.NsPerOp != 94.17 || r0.BytesPerOp != 0 || r0.AllocsPerOp != 0 {
+		t.Fatalf("result 0 values: %+v", r0)
+	}
+	if math.Abs(r0.OpsPerSec-1e9/94.17) > 1 {
+		t.Fatalf("ops/sec %f", r0.OpsPerSec)
+	}
+
+	r1 := run.Results[1]
+	if r1.Name != "BenchmarkTokenAdaptive/nodes=16" || r1.Procs != 4 {
+		t.Fatalf("-N suffix not split: %+v", r1)
+	}
+	if r1.NsPerOp != 2180 || r1.BytesPerOp != 176 || r1.AllocsPerOp != 23 {
+		t.Fatalf("benchmem columns: %+v", r1)
+	}
+
+	r2 := run.Results[2]
+	if r2.Name != "BenchmarkTokenAdaptive/nodes=128" || r2.Procs != 1 {
+		t.Fatalf("suffix-less subbench: %+v", r2)
+	}
+}
+
+func TestParseGoBenchEmpty(t *testing.T) {
+	run, err := ParseGoBench(strings.NewReader("ok  \trepro\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 0 {
+		t.Fatalf("parsed phantom results: %+v", run.Results)
+	}
+}
+
+func TestWriteBenchJSONRoundTrip(t *testing.T) {
+	run, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Label = "pre"
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, []BenchRun{run}); err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchRun
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Label != "pre" || len(back[0].Results) != len(run.Results) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back[0].Results[1] != run.Results[1] {
+		t.Fatalf("result changed: %+v != %+v", back[0].Results[1], run.Results[1])
+	}
+	for _, key := range []string{`"ns_per_op"`, `"ops_per_sec"`, `"label"`} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("JSON missing %s:\n%s", key, buf.String())
+		}
+	}
+}
