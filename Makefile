@@ -35,12 +35,15 @@ benchsmoke:
 # b.RunParallel and the batch/pooled paths race real goroutines, so this
 # catches data races the correctness tests' schedules might miss.
 perfsmoke:
-	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenDist|ChordLookupCached' -benchtime 1x -run '^$$' .
+	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached' -benchtime 1x -run '^$$' .
 
-# Refresh the machine-readable benchmark baseline (BENCH_3.json keeps the
-# checked-in PR-3 numbers; this writes a fresh run to compare against).
+# Refresh the machine-readable benchmark baseline (BENCH_4.json keeps the
+# checked-in PR-4 pre/post numbers; this writes a fresh run to compare
+# against — override LABEL to stamp the run, e.g. `make bench-baseline
+# LABEL=post`).
+LABEL ?= local
 bench-baseline:
-	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle' \
+	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle|TransportDedup|WorkloadBursty' \
 		-benchmem -benchtime 1s -run '^$$' . \
-		| $(GO) run ./cmd/acnbench -json -label local > BENCH_local.json
-	@echo wrote BENCH_local.json
+		| $(GO) run ./cmd/acnbench -json -label $(LABEL) > BENCH_$(LABEL).json
+	@echo wrote BENCH_$(LABEL).json

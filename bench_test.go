@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sync/atomic"
 	"testing"
 
 	acn "repro"
@@ -14,7 +15,9 @@ import (
 	"repro/internal/dist"
 	"repro/internal/estimate"
 	"repro/internal/experiments"
+	"repro/internal/transport"
 	"repro/internal/tree"
+	"repro/internal/workload"
 )
 
 // benchExperiment runs one reproduction experiment per iteration (tables
@@ -114,6 +117,93 @@ func BenchmarkTokenAdaptive(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkTokenAdaptiveBatch injects bursts of 128 tokens per
+// Client.InjectBatch call, the burst landing on one input wire per batch
+// (the workload generators' bursty arrival shape, rotating wires across
+// batches). One op is one token, so ns/op compares directly against
+// BenchmarkTokenAdaptive: the gap is the snapshot/entry/group
+// amortization of the batched pipeline.
+func BenchmarkTokenAdaptiveBatch(b *testing.B) {
+	for _, nodes := range []int{16, 128} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			net, err := core.New(core.Config{Width: 1 << 12, Seed: 1, InitialNodes: nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.MaintainToFixpoint(200); err != nil {
+				b.Fatal(err)
+			}
+			client, err := net.NewClient()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(2))
+			const batch = 128
+			ins := make([]int, batch)
+			b.ResetTimer()
+			for done := 0; done < b.N; done += batch {
+				n := batch
+				if left := b.N - done; left < n {
+					n = left
+				}
+				wire := rng.Intn(1 << 12)
+				for i := 0; i < n; i++ {
+					ins[i] = wire
+				}
+				if _, err := client.InjectBatch(ins[:n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTokenAdaptiveBatchParallel runs batched injection from
+// concurrent clients: the lock-free group claims (TryStepN) mean
+// concurrent batches contend only on the atomic component words, one CAS
+// per group instead of one per token. One op is one token.
+func BenchmarkTokenAdaptiveBatchParallel(b *testing.B) {
+	for _, nodes := range []int{16, 128} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			net, err := core.New(core.Config{Width: 1 << 12, Seed: 1, InitialNodes: nodes})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := net.MaintainToFixpoint(200); err != nil {
+				b.Fatal(err)
+			}
+			var gid atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client, err := net.NewClient()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				rng := rand.New(rand.NewSource(100 + gid.Add(1)))
+				const batch = 128
+				ins := make([]int, batch)
+				for pb.Next() {
+					// pb.Next counts single tokens; fill the batch and charge
+					// the remaining 127 against the loop.
+					n := 1
+					for n < batch && pb.Next() {
+						n++
+					}
+					wire := rng.Intn(1 << 12)
+					for i := 0; i < n; i++ {
+						ins[i] = wire
+					}
+					if _, err := client.InjectBatch(ins[:n]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
 		})
 	}
 }
@@ -304,6 +394,8 @@ func BenchmarkE24FaultyTransport(b *testing.B) { benchExperiment(b, "E24") }
 
 func BenchmarkE26Multicore(b *testing.B) { benchExperiment(b, "E26") }
 
+func BenchmarkE27BatchedInjection(b *testing.B) { benchExperiment(b, "E27") }
+
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency
 // percentiles across N are the observability layer's acceptance output.
@@ -318,5 +410,58 @@ func BenchmarkE25Observability(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkTransportDedupParallel measures the striped at-most-once table
+// under sender concurrency: every logical call is sent twice (the retry
+// pattern the dedup table exists for), so half the Sends execute the
+// handler and half are served from a stripe's call cache. Before striping,
+// all goroutines serialized on one endpoint mutex here.
+func BenchmarkTransportDedupParallel(b *testing.B) {
+	mem := transport.NewMem()
+	if err := mem.Bind("ctr", func(transport.Request) (any, error) { return nil, nil }); err != nil {
+		b.Fatal(err)
+	}
+	mem.EnableDedup()
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := next.Add(1)
+			if _, err := mem.Send(transport.Request{ID: id, To: "ctr"}, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mem.Send(transport.Request{ID: id, To: "ctr"}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWorkloadBursty drives bursty arrivals through the adaptive
+// network via the workload runner — batch=1 is the per-call path, larger
+// batches hand each burst to InjectBatch. ns/op is per token.
+func BenchmarkWorkloadBursty(b *testing.B) {
+	for _, batch := range []int{1, 128} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			n, err := core.New(core.Config{Width: 1 << 12, Seed: 1, InitialNodes: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := n.MaintainToFixpoint(200); err != nil {
+				b.Fatal(err)
+			}
+			client, err := n.NewClient()
+			if err != nil {
+				b.Fatal(err)
+			}
+			arrivals := workload.NewBursty(n.Width(), 128, 7)
+			events := []workload.Event{{Kind: workload.EventInject, Count: b.N}}
+			b.ResetTimer()
+			if _, err := workload.RunBatched(n, client, events, arrivals, batch); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }

@@ -30,6 +30,6 @@ echo "== benchmark smoke (1 iteration each) =="
 go test -bench . -benchtime 1x -run '^$' ./...
 
 echo "== perf smoke (hot-path benchmarks under -race) =="
-go test -race -bench 'TokenAdaptiveParallel|TokenDist|ChordLookupCached' -benchtime 1x -run '^$' .
+go test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached' -benchtime 1x -run '^$' .
 
 echo "OK"

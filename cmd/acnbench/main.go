@@ -1,4 +1,4 @@
-// Command acnbench runs the reproduction experiments (E1..E26, indexed in
+// Command acnbench runs the reproduction experiments (E1..E27, indexed in
 // DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
 // output.
 //
@@ -137,6 +137,9 @@ func run(args []string) error {
 		}
 	}
 	for _, id := range ids {
+		if id == "E26" && runtime.NumCPU() == 1 {
+			fmt.Fprintln(os.Stderr, "acnbench: warning: runtime.NumCPU() == 1; the E26 GOMAXPROCS sweep cannot measure parallel speedups on this host, its rows are serial baselines")
+		}
 		start := time.Now()
 		t, err := experiments.Run(id, opts)
 		if err != nil {

@@ -18,9 +18,13 @@ const DefaultLookupCacheSize = 4096
 // over between churn events. A hit answers in O(1) with zero overlay hops;
 // the cache flushes wholesale whenever the ring's membership version
 // changes, because any join, leave or crash can move any name's owner (the
-// successor hand-off rule of Section 3.4). Entries above the bound evict
-// arbitrarily — the working set (live component names) is small, so
-// eviction is rare.
+// successor hand-off rule of Section 3.4). At capacity, eviction is CLOCK
+// (second chance): every hit marks its entry referenced, and the clock hand
+// sweeps the slot ring clearing marks until it finds an unreferenced victim
+// — so between churn flushes the hot component names (zipf-skewed token
+// traffic resolves the same few names over and over) survive eviction that
+// an arbitrary map-range eviction would hit in proportion to their count.
+// The policy comparison lives in TestLookupCacheClockBeatsArbitrary.
 //
 // Callers may key entries by any string that uniquely identifies the
 // looked-up object (internal/core keys by tree path, which is cheaper to
@@ -41,7 +45,16 @@ type LookupCache struct {
 
 	mu      sync.Mutex
 	version uint64
-	entries map[string]NodeID
+	index   map[string]int // key -> slot
+	slots   []lcSlot       // CLOCK ring, at most cap slots
+	hand    int            // next eviction candidate
+}
+
+// lcSlot is one CLOCK ring slot.
+type lcSlot struct {
+	key   string
+	owner NodeID
+	ref   bool // referenced since the hand last swept past
 }
 
 // NewLookupCache creates a cache over ring bounded to size entries
@@ -50,7 +63,7 @@ func NewLookupCache(ring *Ring, size int) *LookupCache {
 	if size <= 0 {
 		size = DefaultLookupCacheSize
 	}
-	return &LookupCache{ring: ring, cap: size, entries: make(map[string]NodeID)}
+	return &LookupCache{ring: ring, cap: size, index: make(map[string]int)}
 }
 
 // Instrument routes the cache's hit/miss/flush counters into reg. Call it
@@ -90,7 +103,7 @@ func (c *LookupCache) Len() int {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	return len(c.index)
 }
 
 // Get returns the cached owner for key. A membership version change
@@ -105,8 +118,10 @@ func (c *LookupCache) Get(key string) (owner NodeID, version uint64, ok bool) {
 	v := c.ring.Version()
 	c.mu.Lock()
 	if c.version != v {
-		if len(c.entries) > 0 {
-			c.entries = make(map[string]NodeID)
+		if len(c.index) > 0 {
+			clear(c.index)
+			c.slots = c.slots[:0]
+			c.hand = 0
 			c.flushes.Add(1)
 			if c.cFlushes != nil {
 				c.cFlushes.Inc()
@@ -114,7 +129,11 @@ func (c *LookupCache) Get(key string) (owner NodeID, version uint64, ok bool) {
 		}
 		c.version = v
 	}
-	owner, ok = c.entries[key]
+	var i int
+	if i, ok = c.index[key]; ok {
+		owner = c.slots[i].owner
+		c.slots[i].ref = true // second chance for the hot entry
+	}
 	c.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
@@ -140,13 +159,27 @@ func (c *LookupCache) Put(version uint64, key string, owner NodeID) {
 	}
 	c.mu.Lock()
 	if c.version == version && c.ring.Version() == version {
-		if len(c.entries) >= c.cap {
-			for k := range c.entries { // arbitrary eviction
-				delete(c.entries, k)
-				break
+		switch i, ok := c.index[key]; {
+		case ok:
+			c.slots[i].owner = owner
+			c.slots[i].ref = true
+		case len(c.slots) < c.cap:
+			c.index[key] = len(c.slots)
+			c.slots = append(c.slots, lcSlot{key: key, owner: owner, ref: true})
+		default:
+			// CLOCK: sweep, clearing reference marks, until a slot that has
+			// not been touched since the last sweep comes up. Terminates:
+			// each cleared mark stays clear until a hit sets it again, and
+			// the hand holds the lock.
+			for c.slots[c.hand].ref {
+				c.slots[c.hand].ref = false
+				c.hand = (c.hand + 1) % len(c.slots)
 			}
+			delete(c.index, c.slots[c.hand].key)
+			c.index[key] = c.hand
+			c.slots[c.hand] = lcSlot{key: key, owner: owner, ref: true}
+			c.hand = (c.hand + 1) % len(c.slots)
 		}
-		c.entries[key] = owner
 	}
 	c.mu.Unlock()
 }

@@ -1,0 +1,93 @@
+package chord
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// arbitraryCache replays the eviction policy the lookup cache used before
+// CLOCK: a bounded map whose victim is whatever key a map range yields
+// first. It serves as the measurement baseline for the policy comparison.
+type arbitraryCache struct {
+	cap     int
+	entries map[string]NodeID
+}
+
+func (a *arbitraryCache) get(key string) (NodeID, bool) {
+	owner, ok := a.entries[key]
+	return owner, ok
+}
+
+func (a *arbitraryCache) put(key string, owner NodeID) {
+	if len(a.entries) >= a.cap {
+		for k := range a.entries {
+			delete(a.entries, k)
+			break
+		}
+	}
+	a.entries[key] = owner
+}
+
+// TestLookupCacheClockBeatsArbitrary is the measure-then-adopt gate for the
+// CLOCK eviction policy: both policies replay the same zipf-skewed key
+// trace (token traffic resolves a few hot component names constantly and a
+// long tail rarely) with a working set larger than capacity, and CLOCK must
+// win the hit rate at every capacity the token path uses. The arbitrary
+// baseline is averaged over several runs because map-range eviction order
+// is randomized.
+func TestLookupCacheClockBeatsArbitrary(t *testing.T) {
+	ring := NewRing(1)
+	ids := ring.JoinN(64)
+	const trace = 60_000
+	for _, capacity := range []int{64, 256, 1024} {
+		// 4x capacity distinct keys: eviction pressure at every size.
+		keys := make([]string, 4*capacity)
+		for i := range keys {
+			keys[i] = fmt.Sprint("comp-", i)
+		}
+		mkTrace := func(seed int64) []string {
+			rng := rand.New(rand.NewSource(seed))
+			z := rand.NewZipf(rng, 1.2, 1, uint64(len(keys)-1))
+			tr := make([]string, trace)
+			for i := range tr {
+				tr[i] = keys[z.Uint64()]
+			}
+			return tr
+		}
+		tr := mkTrace(int64(7 + capacity))
+
+		cache := NewLookupCache(ring, capacity)
+		for _, key := range tr {
+			if _, _, _, err := cache.Owner(ids[0], key); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := cache.Stats()
+		clockRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+
+		var arbHits int
+		const arbRuns = 3
+		for run := 0; run < arbRuns; run++ {
+			arb := &arbitraryCache{cap: capacity, entries: make(map[string]NodeID)}
+			for _, key := range tr {
+				if _, ok := arb.get(key); ok {
+					arbHits++
+					continue
+				}
+				owner, _, err := ring.Lookup(ids[0], Hash(key))
+				if err != nil {
+					t.Fatal(err)
+				}
+				arb.put(key, owner)
+			}
+		}
+		arbRate := float64(arbHits) / float64(arbRuns*trace)
+
+		t.Logf("cap=%4d: clock hit rate %.4f, arbitrary %.4f", capacity, clockRate, arbRate)
+		if clockRate <= arbRate {
+			t.Errorf("cap=%d: CLOCK (%.4f) did not beat arbitrary eviction (%.4f)",
+				capacity, clockRate, arbRate)
+		}
+	}
+}

@@ -83,6 +83,26 @@ func (s *State) TryStep() (out int, ok bool) {
 	}
 }
 
+// TryStepN routes n tokens through the component with one atomic claim and
+// returns the total before the claim: token i of the batch (0 <= i < n)
+// leaves on wire (base+i) mod width. Claiming n consecutive slots is
+// indistinguishable from n sequential TryStep calls that happened to run
+// back-to-back — a counting network admits every interleaving — so batched
+// engines pay one CAS per component visit instead of one per token. Like
+// TryStep it fails when the component is frozen, and the freeze flag makes
+// the claim all-or-nothing: no token of the batch received a wire.
+func (s *State) TryStepN(n uint64) (base uint64, ok bool) {
+	for {
+		cur := s.state.Load()
+		if cur&frozenBit != 0 {
+			return 0, false
+		}
+		if s.state.CompareAndSwap(cur, cur+n) {
+			return cur, true
+		}
+	}
+}
+
 // Step routes one token through the component and returns the output wire
 // it leaves on, spinning across a concurrent freeze. Engines that replace
 // frozen components (internal/core's concurrent router) should use TryStep

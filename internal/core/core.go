@@ -264,14 +264,16 @@ type Network struct {
 
 	// Observability handles, fixed at construction (nil when cfg.Obs is
 	// nil); safe to read without the lock.
-	tracer   *obs.Tracer
-	hTokE2E  *obs.Hist // per-token injection-to-exit seconds
-	hTokWire *obs.Hist // per-token wire hops (components traversed)
-	hTokLook *obs.Hist // per-token DHT lookups
-	hTokTry  *obs.Hist // per-token entry tries
-	hSplit   *obs.Hist // per-split seconds
-	hMerge   *obs.Hist // per-merge seconds
-	hRepair  *obs.Hist // per-component repair seconds
+	tracer    *obs.Tracer
+	hTokE2E   *obs.Hist // per-token injection-to-exit seconds
+	hBatchSec *obs.Hist // per-InjectBatch wall seconds
+	hBatchTok *obs.Hist // per-InjectBatch token counts
+	hTokWire  *obs.Hist // per-token wire hops (components traversed)
+	hTokLook  *obs.Hist // per-token DHT lookups
+	hTokTry   *obs.Hist // per-token entry tries
+	hSplit    *obs.Hist // per-split seconds
+	hMerge    *obs.Hist // per-merge seconds
+	hRepair   *obs.Hist // per-component repair seconds
 
 	// mu is the structural lock. Tokens hold it in read mode for their
 	// whole traversal (concurrent with each other); structural operations
@@ -338,6 +340,8 @@ func New(cfg Config) (*Network, error) {
 		n.ring.Instrument(reg)
 		n.lcache.Instrument(reg)
 		n.hTokE2E = reg.Histogram("core.token.seconds", 0, 0.01, 1000)
+		n.hBatchSec = reg.Histogram("core.batch.seconds", 0, 0.05, 500)
+		n.hBatchTok = reg.Histogram("core.batch.tokens", 0, 1024, 256)
 		n.hTokWire = reg.Histogram("core.token.wirehops", 0, 128, 128)
 		n.hTokLook = reg.Histogram("core.token.lookups", 0, 64, 64)
 		n.hTokTry = reg.Histogram("core.token.entrytries", 0, 32, 32)

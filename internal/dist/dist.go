@@ -472,24 +472,48 @@ func (cl *Cluster) Inject(in int) (int, error) {
 }
 
 // InjectBatch routes len(ins) tokens in sequence, reusing one pooled token
-// endpoint and one traversal context for the whole batch — the per-token
-// setup cost (endpoint checkout, sequence churn on the free-list) is paid
-// once. Tokens still traverse one at a time: batching amortizes setup, it
-// does not reorder or parallelize the batch itself. It returns the output
-// wire of each token.
+// endpoint and one traversal context for the whole batch. The per-token
+// setup costs are paid once per batch instead of once per token: one
+// endpoint checkout/return (so the stale-resume mailbox drain in putEP runs
+// once per batch), one atomic claim of the whole token-sequence range, one
+// upfront validation pass over the input wires, and one injected-counter
+// add per run of equal wires (bursty batches are long runs). Tokens still
+// traverse one at a time: batching amortizes setup, it does not reorder or
+// parallelize the batch itself. It returns the output wire of each token.
 func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
+	for _, in := range ins {
+		if in < 0 || in >= cl.w {
+			return nil, fmt.Errorf("dist: input wire %d out of range [0,%d)", in, cl.w)
+		}
+	}
+	if len(ins) == 0 {
+		return nil, nil
+	}
 	ep, err := cl.getEP()
 	if err != nil {
 		return nil, err
 	}
-	defer cl.putEP(ep)
+	defer cl.putEP(ep) // clears ep.cur and drains stragglers, once per batch
+	hi := cl.tokSeq.Add(uint64(len(ins)))
+	base := hi - uint64(len(ins)) + 1
 	outs := make([]int, len(ins))
-	for i, in := range ins {
-		out, err := cl.injectOn(ep, in)
-		if err != nil {
-			return outs[:i], err
+	for i := 0; i < len(ins); {
+		// One injected-counter add per run of equal wires, counted before
+		// the run routes (the same count-then-route order injectOn uses).
+		j := i
+		for j < len(ins) && ins[j] == ins[i] {
+			j++
 		}
-		outs[i] = out
+		cl.injected[ins[i]].Add(uint64(j - i))
+		for ; i < j; i++ {
+			seq := base + uint64(i)
+			ep.cur.Store(seq)
+			out, err := cl.injectOnSeq(ep, ins[i], seq)
+			if err != nil {
+				return outs[:i], err
+			}
+			outs[i] = out
+		}
 	}
 	return outs, nil
 }
@@ -504,6 +528,12 @@ func (cl *Cluster) injectOn(ep *tokenEP, in int) (int, error) {
 	seq := cl.tokSeq.Add(1)
 	ep.cur.Store(seq)
 	defer ep.cur.Store(0)
+	return cl.injectOnSeq(ep, in, seq)
+}
+
+// injectOnSeq routes one token whose sequence number has been claimed and
+// published to ep.cur by the caller; in has been validated and counted.
+func (cl *Cluster) injectOnSeq(ep *tokenEP, in int, seq uint64) (int, error) {
 
 	sp := cl.tracer.Start("token")
 	var begin time.Time

@@ -144,3 +144,32 @@ func TestEndpointPoolReuse(t *testing.T) {
 		t.Fatalf("sequential injection left %d pooled endpoints, want 1", n)
 	}
 }
+
+// TestInjectBatchValidatesUpfront: a bad wire anywhere in the batch rejects
+// the whole batch before any token is injected or counted — the seq range
+// and injected counters are only touched by all-valid batches.
+func TestInjectBatchValidatesUpfront(t *testing.T) {
+	w := 8
+	cl, err := New(w, tree.LeafCut(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.InjectBatch([]int{0, 1, w, 2}); err == nil {
+		t.Fatal("out-of-range wire accepted")
+	}
+	if _, err := cl.InjectBatch([]int{-1}); err == nil {
+		t.Fatal("negative wire accepted")
+	}
+	var total int64
+	for _, n := range cl.OutCounts() {
+		total += n
+	}
+	if total != 0 {
+		t.Fatalf("rejected batches emitted %d tokens", total)
+	}
+	for in := range cl.injected {
+		if c := cl.injected[in].Load(); c != 0 {
+			t.Fatalf("rejected batch counted %d tokens on wire %d", c, in)
+		}
+	}
+}

@@ -147,6 +147,7 @@ func registerAll() map[string]Func {
 		"E24": E24FaultyTransport,
 		"E25": E25Observability,
 		"E26": E26MulticoreScaling,
+		"E27": E27BatchedInjection,
 	}
 }
 

@@ -41,6 +41,12 @@ func E26MulticoreScaling(opts Options) (*Table, error) {
 	// GOMAXPROCS sweep: powers of two up to NumCPU, always including
 	// NumCPU itself.
 	ncpu := runtime.NumCPU()
+	if ncpu == 1 {
+		// Make the degenerate sweep impossible to mistake for a scaling
+		// result: the annotation rides in the title, so every rendering of
+		// the table (stdout, files, BENCH logs) carries it.
+		t.Title += " [single-CPU host: speedups not measurable]"
+	}
 	var procsSweep []int
 	for p := 1; p < ncpu; p *= 2 {
 		procsSweep = append(procsSweep, p)
@@ -151,7 +157,7 @@ func E26MulticoreScaling(opts Options) (*Table, error) {
 	t.Note("adaptive: %d tokens, %d DHT lookups (%d lookup-cache hits), %.2f wire hops/token",
 		m.Tokens, m.NameLookups, m.LCacheHits, float64(m.WireHops)/float64(m.Tokens))
 	if ncpu == 1 {
-		t.Note("single-CPU host: sweep degenerates to GOMAXPROCS=1 (serial baseline only)")
+		t.Note("WARNING: single-CPU host (runtime.NumCPU() == 1): the sweep degenerates to GOMAXPROCS=1, so every speedup column is 1.0 by construction; rows record the serial throughput baseline only")
 	}
 	return t, nil
 }

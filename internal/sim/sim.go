@@ -1,6 +1,7 @@
 // Package sim is a discrete-event simulator for the counting network:
-// overlay nodes are single-server FIFO queues, inter-component wires have
-// link latency, and tokens are events flowing through the current cut.
+// overlay nodes are banks of per-core FIFO queues with work stealing (one
+// single-server queue by default), inter-component wires have link latency,
+// and tokens are events flowing through the current cut.
 //
 // The paper argues latency through effective depth and throughput through
 // effective width; this simulator turns those structural quantities into
@@ -31,6 +32,13 @@ type Config struct {
 	// ServiceTime is the time a node takes to process one token at one
 	// component (arbitrary time units).
 	ServiceTime float64
+	// CoresPerNode partitions each node's single FIFO into that many
+	// per-core queues with work stealing: a component's tokens have an
+	// affine core (components are hashed onto cores the way they are hashed
+	// onto nodes), and a token arriving while its affine core is backlogged
+	// is stolen by the core that would start serving it earliest. 0 or 1
+	// keeps the single-server behavior exactly.
+	CoresPerNode int
 	// LinkDelay is the one-way latency of a component-to-component wire.
 	LinkDelay float64
 	// ArrivalRate is the Poisson token arrival rate (tokens per time unit).
@@ -57,7 +65,8 @@ type Result struct {
 	LatencyMean float64 // token injection-to-exit latency
 	LatencyP50  float64
 	LatencyP99  float64
-	MaxNodeBusy float64 // utilization of the busiest node (busy time / makespan)
+	MaxNodeBusy float64 // utilization of the busiest node (busy time / (makespan * cores))
+	Steals      int     // tokens served by a non-affine core (work stealing)
 	Resends     int     // message re-sends forced by link loss
 	Out         []int64 // per-output-wire emissions
 }
@@ -94,10 +103,15 @@ type token struct {
 	start float64
 }
 
-// nodeState is a single-server FIFO queue.
-type nodeState struct {
+// coreState is one simulated core: a single-server FIFO queue.
+type coreState struct {
 	busyUntil float64
 	busyTotal float64
+}
+
+// nodeState is one overlay node: CoresPerNode independent core queues.
+type nodeState struct {
+	cores []coreState
 }
 
 // Sim is one simulation instance.
@@ -110,6 +124,7 @@ type Sim struct {
 
 	comps map[tree.Path]*component.State
 	host  map[tree.Path]int
+	core  map[tree.Path]int // affine core of a component on its host
 	nodes []nodeState
 
 	out       []int64
@@ -117,6 +132,7 @@ type Sim struct {
 	completed int
 	lastDone  float64
 	resends   int
+	steals    int
 }
 
 // New builds a simulation.
@@ -136,13 +152,23 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.RetryTimeout == 0 {
 		cfg.RetryTimeout = 4 * cfg.LinkDelay
 	}
+	if cfg.CoresPerNode < 0 {
+		return nil, fmt.Errorf("sim: CoresPerNode %d must be >= 0", cfg.CoresPerNode)
+	}
+	if cfg.CoresPerNode == 0 {
+		cfg.CoresPerNode = 1
+	}
 	s := &Sim{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		comps: make(map[tree.Path]*component.State),
 		host:  make(map[tree.Path]int),
+		core:  make(map[tree.Path]int),
 		nodes: make([]nodeState, cfg.Nodes),
 		out:   make([]int64, cfg.Width),
+	}
+	for i := range s.nodes {
+		s.nodes[i].cores = make([]coreState, cfg.CoresPerNode)
 	}
 	comps, err := cfg.Cut.Components(cfg.Width)
 	if err != nil {
@@ -150,7 +176,11 @@ func New(cfg Config) (*Sim, error) {
 	}
 	for _, c := range comps {
 		s.comps[c.Path] = component.New(c)
-		s.host[c.Path] = int(uint64(chord.Hash(c.Name())) % uint64(cfg.Nodes))
+		h := uint64(chord.Hash(c.Name()))
+		s.host[c.Path] = int(h % uint64(cfg.Nodes))
+		// Affinity reuses the placement hash's remaining entropy so the
+		// same components always meet the same core between arrivals.
+		s.core[c.Path] = int(h / uint64(cfg.Nodes) % uint64(cfg.CoresPerNode))
 	}
 	return s, nil
 }
@@ -193,16 +223,33 @@ func (s *Sim) arriveAtEntry(tok *token, in int) {
 	s.arriveAtComp(tok, cur)
 }
 
-// arriveAtComp queues the token at the component's host node.
+// arriveAtComp queues the token on a core of the component's host node:
+// the component's affine core, unless that core is backlogged and another
+// core would start serving the token strictly earlier (work stealing; ties
+// keep affinity, and the earliest-start scan breaks its own ties by core
+// index, so runs stay deterministic).
 func (s *Sim) arriveAtComp(tok *token, comp tree.Component) {
 	node := &s.nodes[s.host[comp.Path]]
+	core := &node.cores[s.core[comp.Path]]
+	if len(node.cores) > 1 && core.busyUntil > s.now {
+		best := core
+		for i := range node.cores {
+			if node.cores[i].busyUntil < best.busyUntil {
+				best = &node.cores[i]
+			}
+		}
+		if best != core {
+			core = best
+			s.steals++
+		}
+	}
 	start := s.now
-	if node.busyUntil > start {
-		start = node.busyUntil
+	if core.busyUntil > start {
+		start = core.busyUntil
 	}
 	done := start + s.cfg.ServiceTime
-	node.busyUntil = done
-	node.busyTotal += s.cfg.ServiceTime
+	core.busyUntil = done
+	core.busyTotal += s.cfg.ServiceTime
 	s.schedule(done, func() { s.processAt(tok, comp) })
 }
 
@@ -269,9 +316,16 @@ func (s *Sim) result() (Result, error) {
 		mean += l
 	}
 	mean /= float64(len(sorted))
+	// A node's utilization is its cores' aggregate busy time over the time
+	// the cores collectively had available, so it stays in [0,1] for any
+	// CoresPerNode.
 	maxBusy := 0.0
 	for _, n := range s.nodes {
-		if u := n.busyTotal / s.lastDone; u > maxBusy {
+		var busy float64
+		for _, c := range n.cores {
+			busy += c.busyTotal
+		}
+		if u := busy / (s.lastDone * float64(len(n.cores))); u > maxBusy {
 			maxBusy = u
 		}
 	}
@@ -285,6 +339,7 @@ func (s *Sim) result() (Result, error) {
 		LatencyP50:  sorted[len(sorted)/2],
 		LatencyP99:  sorted[(len(sorted)*99)/100],
 		MaxNodeBusy: maxBusy,
+		Steals:      s.steals,
 		Resends:     s.resends,
 		Out:         out,
 	}, nil

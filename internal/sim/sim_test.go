@@ -211,3 +211,98 @@ func TestLinkLossAddsLatencyNotLossage(t *testing.T) {
 		t.Fatal("DropRate 1 accepted")
 	}
 }
+
+// TestSingleCoreUnchanged: CoresPerNode 0 and 1 are the legacy single-server
+// node, byte-for-byte — same makespan, latencies, utilization and outputs.
+func TestSingleCoreUnchanged(t *testing.T) {
+	base := Config{
+		Width: 16, Cut: tree.LeafCut(16), Nodes: 4,
+		ServiceTime: 1, LinkDelay: 0.2, ArrivalRate: 2, Tokens: 600, Seed: 5,
+	}
+	run := func(cores int) Result {
+		cfg := base
+		cfg.CoresPerNode = cores
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r0, r1 := run(0), run(1)
+	if r0.Makespan != r1.Makespan || r0.LatencyMean != r1.LatencyMean ||
+		r0.MaxNodeBusy != r1.MaxNodeBusy || r0.Throughput != r1.Throughput {
+		t.Fatalf("cores=0 and cores=1 diverged:\n%+v\n%+v", r0, r1)
+	}
+	if r1.Steals != 0 {
+		t.Fatalf("single core stole %d tokens from itself", r1.Steals)
+	}
+}
+
+// TestMultiCoreScalesNode: with one saturated node (the centralized cut),
+// adding simulated cores must raise throughput, actually steal work, and
+// keep per-node utilization a sane fraction.
+func TestMultiCoreScalesNode(t *testing.T) {
+	base := Config{
+		Width: 16, Cut: tree.LeafCut(16), Nodes: 1,
+		ServiceTime: 1, LinkDelay: 0.1, ArrivalRate: 8, Tokens: 800, Seed: 3,
+	}
+	run := func(cores int) Result {
+		cfg := base
+		cfg.CoresPerNode = cores
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r4 := run(1), run(4)
+	if r4.Throughput <= r1.Throughput*1.5 {
+		t.Fatalf("4 cores did not scale: %.3f vs %.3f tokens/unit", r4.Throughput, r1.Throughput)
+	}
+	if r4.Steals == 0 {
+		t.Fatal("saturated node never stole work across cores")
+	}
+	if r4.MaxNodeBusy > 1 || r1.MaxNodeBusy > 1 {
+		t.Fatalf("utilization not normalized per core: %v / %v", r4.MaxNodeBusy, r1.MaxNodeBusy)
+	}
+	if r1.Completed != r4.Completed {
+		t.Fatalf("token conservation broke across cores: %d vs %d", r1.Completed, r4.Completed)
+	}
+}
+
+// TestMultiCoreDeterministic: the stealing scan is index-ordered, so equal
+// configs replay identically.
+func TestMultiCoreDeterministic(t *testing.T) {
+	cfg := Config{
+		Width: 8, Cut: tree.LeafCut(8), Nodes: 2, CoresPerNode: 3,
+		ServiceTime: 1, LinkDelay: 0.3, ArrivalRate: 5, Tokens: 400, Seed: 11,
+	}
+	run := func() Result {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.Steals != b.Steals || a.LatencyP99 != b.LatencyP99 {
+		t.Fatalf("multi-core runs diverged:\n%+v\n%+v", a, b)
+	}
+	if cfg.CoresPerNode = -1; true {
+		if _, err := New(cfg); err == nil {
+			t.Fatal("negative CoresPerNode accepted")
+		}
+	}
+}

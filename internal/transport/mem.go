@@ -18,7 +18,9 @@ import (
 // network duplicate of an already-executed request returns the cached reply
 // without re-running the handler. This is the receiver half of at-most-once
 // delivery; the in-flight window (a duplicate arriving while the original
-// is still executing) blocks until the original's reply is ready.
+// is still executing) blocks until the original's reply is ready. The call
+// cache is striped (dedupShards stripes keyed by a hash of the request ID),
+// so concurrent senders serialize only within a stripe, not per endpoint.
 type Net struct {
 	mu    sync.RWMutex
 	eps   map[Addr]*endpoint
@@ -29,12 +31,49 @@ type Net struct {
 	dedupHits atomic.Uint64
 }
 
-// endpoint is one bound address.
+// endpoint is one bound address. Its dedup table is installed atomically so
+// EnableDedup on a live switch never races in-flight Sends: a Send either
+// loads nil (executes directly, the pre-dedup semantic) or loads the table
+// and dedups.
 type endpoint struct {
 	h Handler
 
+	dedup atomic.Pointer[dedupTable] // nil until dedup is enabled
+}
+
+// dedupShards is the number of stripes in an endpoint's request-ID table.
+// Retried calls land on the stripe their ID hashes to, so concurrent senders
+// with distinct IDs contend only on map growth within their own stripe
+// instead of on one endpoint-wide mutex. Power of two (the shard hash keeps
+// the top log2(dedupShards) bits of a Fibonacci mix).
+const dedupShards = 16
+
+// dedupShard is one stripe: a mutex, the calls it guards, and a hit counter.
+type dedupShard struct {
 	mu    sync.Mutex
-	calls map[uint64]*call // by request ID; nil until dedup is enabled
+	calls map[uint64]*call // by request ID
+	hits  atomic.Uint64    // duplicates served from this stripe
+}
+
+// dedupTable is an endpoint's striped at-most-once cache.
+type dedupTable struct {
+	shards [dedupShards]dedupShard
+}
+
+func newDedupTable() *dedupTable {
+	t := &dedupTable{}
+	for i := range t.shards {
+		t.shards[i].calls = make(map[uint64]*call)
+	}
+	return t
+}
+
+// shard maps a request ID to its stripe. Request IDs are sequential
+// (transport.Client allocates them with an atomic counter), so the Fibonacci
+// multiply spreads consecutive IDs across stripes; keeping the top bits makes
+// the low-bit patterns of small IDs irrelevant.
+func (t *dedupTable) shard(id uint64) *dedupShard {
+	return &t.shards[(id*0x9e3779b97f4a7c15)>>(64-4)] // 2^4 == dedupShards
 }
 
 // call is one executed (or executing) request.
@@ -57,11 +96,10 @@ func (n *Net) EnableDedup() {
 	defer n.mu.Unlock()
 	n.dedup = true
 	for _, ep := range n.eps {
-		ep.mu.Lock()
-		if ep.calls == nil {
-			ep.calls = make(map[uint64]*call)
-		}
-		ep.mu.Unlock()
+		// CAS so enabling twice never discards a table already holding
+		// cached replies. Sends racing the installation either miss the
+		// table (direct execution, the pre-dedup semantic) or use it.
+		ep.dedup.CompareAndSwap(nil, newDedupTable())
 	}
 }
 
@@ -77,7 +115,7 @@ func (n *Net) Bind(a Addr, h Handler) error {
 	}
 	ep := &endpoint{h: h}
 	if n.dedup {
-		ep.calls = make(map[uint64]*call)
+		ep.dedup.Store(newDedupTable())
 	}
 	n.eps[a] = ep
 	return nil
@@ -101,28 +139,48 @@ func (n *Net) Send(req Request, timeout time.Duration) (any, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnreachable, req.To)
 	}
 
-	ep.mu.Lock()
-	if ep.calls == nil {
+	tbl := ep.dedup.Load()
+	if tbl == nil {
 		// Dedup off: execute directly.
-		ep.mu.Unlock()
 		n.delivered.Add(1)
 		return ep.h(req)
 	}
-	if c, ok := ep.calls[req.ID]; ok {
+	sh := tbl.shard(req.ID)
+	sh.mu.Lock()
+	if c, ok := sh.calls[req.ID]; ok {
 		// Duplicate: wait for the original execution and reuse its reply.
-		ep.mu.Unlock()
+		sh.mu.Unlock()
+		sh.hits.Add(1)
 		n.dedupHits.Add(1)
 		<-c.done
 		return c.reply, c.err
 	}
 	c := &call{done: make(chan struct{})}
-	ep.calls[req.ID] = c
-	ep.mu.Unlock()
+	sh.calls[req.ID] = c
+	sh.mu.Unlock()
 
 	n.delivered.Add(1)
 	c.reply, c.err = ep.h(req)
 	close(c.done)
 	return c.reply, c.err
+}
+
+// DedupShardHits returns the per-stripe duplicate counts summed across all
+// bound endpoints (index i is stripe i of every endpoint's table). The sum
+// over the slice equals Stats().DedupHits; the spread across entries shows
+// how well the shard hash distributes retried request IDs.
+func (n *Net) DedupShardHits() [dedupShards]uint64 {
+	var hits [dedupShards]uint64
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, ep := range n.eps {
+		if tbl := ep.dedup.Load(); tbl != nil {
+			for i := range tbl.shards {
+				hits[i] += tbl.shards[i].hits.Load()
+			}
+		}
+	}
+	return hits
 }
 
 // Stats implements Transport.

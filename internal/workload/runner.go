@@ -9,6 +9,7 @@ import (
 // RunStats summarizes a trace execution.
 type RunStats struct {
 	Tokens     int
+	Batches    int // InjectBatch calls issued (RunBatched only)
 	Joins      int
 	Leaves     int
 	Crashes    int
@@ -23,6 +24,19 @@ type RunStats struct {
 // wires from the given arrival generator, and verifies the step property
 // at the end.
 func Run(n *core.Network, client *core.Client, events []Event, arrivals Arrivals) (RunStats, error) {
+	return run(n, client, events, arrivals, 0)
+}
+
+// RunBatched is Run with burst-shaped injection: each inject event's tokens
+// are drawn from the arrival generator and handed to core.Client.InjectBatch
+// in chunks of batchSize, so bursty generators (workload.Bursty,
+// workload.SingleWire) reach the network as the bursts they model instead of
+// being serialized into per-token calls. batchSize < 2 degenerates to Run.
+func RunBatched(n *core.Network, client *core.Client, events []Event, arrivals Arrivals, batchSize int) (RunStats, error) {
+	return run(n, client, events, arrivals, batchSize)
+}
+
+func run(n *core.Network, client *core.Client, events []Event, arrivals Arrivals, batchSize int) (RunStats, error) {
 	var st RunStats
 	for i, ev := range events {
 		switch ev.Kind {
@@ -44,6 +58,26 @@ func Run(n *core.Network, client *core.Client, events []Event, arrivals Arrivals
 				st.Crashes++
 			}
 		case EventInject:
+			if batchSize > 1 {
+				buf := make([]int, 0, batchSize)
+				for left := ev.Count; left > 0; {
+					sz := batchSize
+					if left < sz {
+						sz = left
+					}
+					buf = buf[:0]
+					for k := 0; k < sz; k++ {
+						buf = append(buf, arrivals.Next())
+					}
+					if _, err := client.InjectBatch(buf); err != nil {
+						return st, fmt.Errorf("workload: event %d: %w", i, err)
+					}
+					st.Tokens += sz
+					st.Batches++
+					left -= sz
+				}
+				break
+			}
 			for k := 0; k < ev.Count; k++ {
 				if _, err := client.InjectAt(arrivals.Next()); err != nil {
 					return st, fmt.Errorf("workload: event %d: %w", i, err)
