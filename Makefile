@@ -1,7 +1,7 @@
 GO ?= go
 # Packages with real concurrency (goroutine tokens, shared fabrics, rings)
 # get a second pass under the race detector.
-RACE_PKGS = ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
+RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
 
 .PHONY: check fmt vet build test race bench benchsmoke perfsmoke bench-baseline
 
@@ -35,7 +35,7 @@ benchsmoke:
 # b.RunParallel and the batch/pooled paths race real goroutines, so this
 # catches data races the correctness tests' schedules might miss.
 perfsmoke:
-	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached' -benchtime 1x -run '^$$' .
+	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec' -benchtime 1x -run '^$$' .
 
 # Refresh the machine-readable benchmark baseline (BENCH_4.json keeps the
 # checked-in PR-4 pre/post numbers; this writes a fresh run to compare
@@ -43,7 +43,7 @@ perfsmoke:
 # LABEL=post`).
 LABEL ?= local
 bench-baseline:
-	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle|TransportDedup|WorkloadBursty' \
+	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle|TransportDedup|WorkloadBursty|WireCodec' \
 		-benchmem -benchtime 1s -run '^$$' . \
 		| $(GO) run ./cmd/acnbench -json -label $(LABEL) > BENCH_$(LABEL).json
 	@echo wrote BENCH_$(LABEL).json

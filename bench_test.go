@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	acn "repro"
 	"repro/internal/chord"
@@ -16,7 +17,9 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/experiments"
 	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
 	"repro/internal/tree"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -396,6 +399,8 @@ func BenchmarkE26Multicore(b *testing.B) { benchExperiment(b, "E26") }
 
 func BenchmarkE27BatchedInjection(b *testing.B) { benchExperiment(b, "E27") }
 
+func BenchmarkE28WireTransport(b *testing.B) { benchExperiment(b, "E28") }
+
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency
 // percentiles across N are the observability layer's acceptance output.
@@ -463,5 +468,97 @@ func BenchmarkWorkloadBursty(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// distClusterTCP mirrors distCluster but runs the engine over a live TCP
+// loopback fabric, so every RPC pays the wire codec and a socket hop.
+func distClusterTCP(b *testing.B, w int) *dist.Cluster {
+	b.Helper()
+	tn, err := tcpnet.New(tcpnet.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = tn.Close() })
+	cl, err := dist.NewOn(w, tree.RootCut(), tn, transport.RetryConfig{
+		Timeout:    25 * time.Millisecond,
+		MaxRetries: 8,
+		Backoff:    100 * time.Microsecond,
+		BackoffCap: 2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cl.Split(""); err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// BenchmarkTokenDistTCP is BenchmarkTokenDist over TCP loopback: one
+// arrive RPC per component visit per token, each through the codec and a
+// pooled socket. The gap to BenchmarkTokenDist is the price of a real
+// wire; the gap to BenchmarkTokenDistTCPBatch is what group messages
+// amortize away.
+func BenchmarkTokenDistTCP(b *testing.B) {
+	w := 64
+	cl := distClusterTCP(b, w)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Inject(rng.Intn(w)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenDistTCPBatch drives the same TCP fabric through the group
+// wire message: one group-arrive RPC per component visit per batch. ns/op
+// is still per token (b.N tokens total).
+func BenchmarkTokenDistTCPBatch(b *testing.B) {
+	w := 64
+	cl := distClusterTCP(b, w)
+	rng := rand.New(rand.NewSource(1))
+	const batch = 64
+	ins := make([]int, batch)
+	b.ResetTimer()
+	for done := 0; done < b.N; done += batch {
+		n := batch
+		if left := b.N - done; left < n {
+			n = left
+		}
+		for i := 0; i < n; i++ {
+			ins[i] = rng.Intn(w)
+		}
+		if _, err := cl.InjectBatch(ins[:n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireCodec round-trips one group-arrive request envelope (16
+// tokens) through encode, framing and decode — the serialization cost a
+// TCP RPC pays on top of the in-process fabric.
+func BenchmarkWireCodec(b *testing.B) {
+	wires := make([]int, 16)
+	seqs := make([]uint64, 16)
+	for i := range wires {
+		wires[i] = i * 3 % 64
+		seqs[i] = uint64(i + 1)
+	}
+	req := transport.Request{
+		ID: 7, From: "t:1", To: "c:0110#2", Kind: wire.KindGroupArrive,
+		Body: wire.GroupArrive{Token: "t:1", Wires: wires, Seqs: seqs},
+	}
+	enc := wire.NewEncoder(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.Reset()
+		if err := wire.EncodeRequest(enc, uint64(i), req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeFrame(enc.Bytes()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

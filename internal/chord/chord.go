@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // NodeID is a point on the Chord ring. The ring's circumference is the
@@ -104,20 +105,22 @@ func nodeAddr(id NodeID) transport.Addr {
 // bindNode registers a node's RPC endpoint: "cpf" answers the
 // closest-preceding-finger query lookups route on; "probe" answers succ_k
 // liveness probes. Both are read-only and therefore idempotent under
-// retries.
+// retries. Bodies and replies cross the fabric as uint64 — the wire
+// codec's representation for these kinds — and are cast to NodeID at this
+// boundary, so the same handlers serve the in-memory switch and tcpnet.
 func (r *Ring) bindNode(id NodeID) error {
 	return r.tr.Bind(nodeAddr(id), func(req transport.Request) (any, error) {
 		switch req.Kind {
-		case "cpf":
-			key, ok := req.Body.(NodeID)
+		case wire.KindCPF:
+			key, ok := req.Body.(uint64)
 			if !ok {
 				return nil, fmt.Errorf("chord: cpf body %T", req.Body)
 			}
 			r.mu.RLock()
 			defer r.mu.RUnlock()
-			return r.closestPrecedingLocked(id, key), nil
-		case "probe":
-			return id, nil
+			return uint64(r.closestPrecedingLocked(id, NodeID(key))), nil
+		case wire.KindProbe:
+			return uint64(id), nil
 		default:
 			return nil, fmt.Errorf("chord: unknown RPC kind %q", req.Kind)
 		}
@@ -256,7 +259,7 @@ func (r *Ring) SuccK(v NodeID, k int) (NodeID, error) {
 	sk := r.ids[(i+k)%len(r.ids)]
 	r.mu.RUnlock()
 	if sk != v {
-		if _, err := r.rc.Call(nodeAddr(v), nodeAddr(sk), "probe", k); err != nil {
+		if _, err := r.rc.Call(nodeAddr(v), nodeAddr(sk), wire.KindProbe, uint64(k)); err != nil {
 			return 0, fmt.Errorf("chord: succ_%d probe from %d: %w", k, v, err)
 		}
 	}
@@ -329,14 +332,15 @@ func (r *Ring) Lookup(from NodeID, key NodeID) (owner NodeID, hops int, err erro
 	}
 	cur := from
 	for cur != target {
-		reply, rerr := r.rc.Call(nodeAddr(from), nodeAddr(cur), "cpf", key)
+		reply, rerr := r.rc.Call(nodeAddr(from), nodeAddr(cur), wire.KindCPF, uint64(key))
 		if rerr != nil {
 			return 0, 0, fmt.Errorf("chord: lookup for %d from %d: finger query at %d: %w", key, from, cur, rerr)
 		}
-		next, ok := reply.(NodeID)
+		raw, ok := reply.(uint64)
 		if !ok {
 			return 0, 0, fmt.Errorf("chord: cpf reply %T", reply)
 		}
+		next := NodeID(raw)
 		if next == cur {
 			// No finger strictly between cur and key: the owner is our
 			// immediate successor; take the final hop.

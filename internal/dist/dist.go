@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/tree"
+	"repro/internal/wire"
 )
 
 // compState is the lifecycle of a live component.
@@ -60,59 +61,19 @@ const (
 	stateDead
 )
 
-// Message kinds on the component and token endpoints.
+// The message kinds and payload types on the component and token endpoints
+// are owned by internal/wire (kindArrive = wire.KindArrive and so on):
+// every body dist sends or serves is a wire codec type, so the same
+// protocol runs unchanged over the in-memory switch (bodies pass by value)
+// and over tcpnet (bodies pass through the binary codec).
 const (
-	kindArrive = "arrive" // token delivery to an input wire
-	kindFreeze = "freeze" // control: stop processing, snapshot state
-	kindTotal  = "total"  // control: report the processed-token total
-	kindKill   = "kill"   // control: die and release stored tokens
-	kindResume = "resume" // control: stored token's continuation target
+	kindArrive      = wire.KindArrive      // token delivery to an input wire
+	kindGroupArrive = wire.KindGroupArrive // batched token delivery, one RPC per component visit
+	kindFreeze      = wire.KindFreeze      // control: stop processing, snapshot state
+	kindTotal       = wire.KindTotal       // control: report the processed-token total
+	kindKill        = wire.KindKill        // control: die and release stored tokens
+	kindResume      = wire.KindResume      // control: stored token's continuation target
 )
-
-// arriveReq asks a component to accept a token on an input wire. Token is
-// the sender's endpoint, where a resume message goes if the component is
-// frozen and stores the token; Seq identifies which token currently owns
-// that endpoint (endpoints are pooled and reused, so a straggling resume
-// for an earlier token must be distinguishable from the current one's).
-type arriveReq struct {
-	Wire  int
-	Token transport.Addr
-	Seq   uint64
-}
-
-// arriveStatus is the outcome of an arrive RPC.
-type arriveStatus uint8
-
-const (
-	statusProcessed arriveStatus = iota + 1 // routed; Out is the output wire
-	statusQueued                            // stored at a frozen component; await resume
-	statusDead                              // component replaced; re-resolve
-)
-
-// arriveRes is the reply to an arrive RPC.
-type arriveRes struct {
-	Status arriveStatus
-	Out    int
-}
-
-// freezeRes snapshots a component's state at freeze time. Processed is the
-// per-input-wire count of tokens actually routed (arrivals minus stored);
-// both fields are stable once the component is frozen, which makes the
-// freeze RPC idempotent under retries.
-type freezeRes struct {
-	Total     uint64
-	Processed []uint64
-}
-
-// resumeMsg tells a stored token where to re-enter the network. Seq echoes
-// the arriveReq's token sequence number so a reused endpoint can discard
-// resumes addressed to a previous occupant (duplicated or delayed
-// deliveries on a faulty fabric).
-type resumeMsg struct {
-	Path tree.Path
-	Wire int
-	Seq  uint64
-}
 
 // queuedToken is a token stored at a frozen component.
 type queuedToken struct {
@@ -199,14 +160,16 @@ type Cluster struct {
 }
 
 // tokenEP is a pooled token endpoint: a bound transport address plus the
-// resume mailbox. cur holds the sequence number of the token currently
-// using the endpoint (0 = idle); the endpoint handler and the resume
-// receive loop both discard messages whose Seq doesn't match, so a
-// straggling or duplicated resume for a previous occupant is inert.
+// resume mailbox. [lo, hi] is the sequence window of the tokens currently
+// using the endpoint (lo = 0 means idle): a single token holds lo = hi =
+// seq, a batch holds its whole claimed range. The endpoint handler and the
+// resume receive paths both discard messages whose Seq is outside the
+// window, so a straggling or duplicated resume for a previous occupant is
+// inert.
 type tokenEP struct {
 	addr   transport.Addr
-	resume chan resumeMsg
-	cur    atomic.Uint64
+	resume chan wire.Resume
+	lo, hi atomic.Uint64
 }
 
 // New creates a cluster implementing BITONIC[w] with the given cut over an
@@ -259,7 +222,7 @@ func (cl *Cluster) bind(cm *comp) error {
 	cm.addr = transport.Addr(fmt.Sprintf("c:%s#%d", cm.c.Path, cl.gen.Add(1)))
 	cm.resProcessed = make([]any, cm.c.Width)
 	for out := range cm.resProcessed {
-		cm.resProcessed[out] = arriveRes{Status: statusProcessed, Out: out}
+		cm.resProcessed[out] = wire.ArriveRes{Status: wire.StatusProcessed, Out: out}
 	}
 	return cl.tr.Bind(cm.addr, func(req transport.Request) (any, error) {
 		return cl.compRPC(cm, req)
@@ -268,15 +231,15 @@ func (cl *Cluster) bind(cm *comp) error {
 
 // Pre-boxed arrive replies for the outcomes that carry no output wire.
 var (
-	resDead   any = arriveRes{Status: statusDead}
-	resQueued any = arriveRes{Status: statusQueued}
+	resDead   any = wire.ArriveRes{Status: wire.StatusDead}
+	resQueued any = wire.ArriveRes{Status: wire.StatusQueued}
 )
 
 // compRPC serves one component endpoint.
 func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 	switch req.Kind {
 	case kindArrive:
-		ar, ok := req.Body.(arriveReq)
+		ar, ok := req.Body.(wire.Arrive)
 		if !ok {
 			return nil, fmt.Errorf("dist: arrive body %T", req.Body)
 		}
@@ -290,7 +253,7 @@ func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 			return resDead, nil
 		case stateFrozen:
 			cm.arrived[ar.Wire]++
-			cm.queue = append(cm.queue, queuedToken{wire: ar.Wire, tok: ar.Token, seq: ar.Seq})
+			cm.queue = append(cm.queue, queuedToken{wire: ar.Wire, tok: transport.Addr(ar.Token), seq: ar.Seq})
 			cm.mu.Unlock()
 			return resQueued, nil
 		default:
@@ -301,6 +264,49 @@ func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 			cl.signalDrain()
 			return cm.resProcessed[out], nil
 		}
+	case kindGroupArrive:
+		// The batched hop: one RPC delivers a whole group of tokens to this
+		// component. The reply is group-wide — a frozen component stores the
+		// entire group (each token resumes individually), an active one
+		// routes every token in arrival order under one lock acquisition.
+		// Per-output-wire counts depend only on how many tokens arrived, not
+		// on their interleaving with other senders, so a group visit is
+		// count-for-count identical to the same tokens arriving one by one.
+		ga, ok := req.Body.(wire.GroupArrive)
+		if !ok {
+			return nil, fmt.Errorf("dist: group arrive body %T", req.Body)
+		}
+		if len(ga.Wires) == 0 || len(ga.Wires) != len(ga.Seqs) {
+			return nil, fmt.Errorf("dist: group arrive %d wires, %d seqs", len(ga.Wires), len(ga.Seqs))
+		}
+		for _, w := range ga.Wires {
+			if w < 0 || w >= cm.c.Width {
+				return nil, fmt.Errorf("dist: group arrive wire %d out of range [0,%d)", w, cm.c.Width)
+			}
+		}
+		cm.mu.Lock()
+		switch cm.state {
+		case stateDead:
+			cm.mu.Unlock()
+			return wire.GroupArriveRes{Status: wire.StatusDead}, nil
+		case stateFrozen:
+			for i, w := range ga.Wires {
+				cm.arrived[w]++
+				cm.queue = append(cm.queue, queuedToken{wire: w, tok: transport.Addr(ga.Token), seq: ga.Seqs[i]})
+			}
+			cm.mu.Unlock()
+			return wire.GroupArriveRes{Status: wire.StatusQueued}, nil
+		default:
+			outs := make([]int, len(ga.Wires))
+			for i, w := range ga.Wires {
+				cm.arrived[w]++
+				outs[i] = int(cm.total % uint64(cm.c.Width))
+				cm.total++
+			}
+			cm.mu.Unlock()
+			cl.signalDrain()
+			return wire.GroupArriveRes{Status: wire.StatusProcessed, Outs: outs}, nil
+		}
 	case kindFreeze:
 		cm.mu.Lock()
 		defer cm.mu.Unlock()
@@ -308,7 +314,7 @@ func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 			return nil, fmt.Errorf("dist: freeze: %v is dead", cm.c)
 		}
 		cm.state = stateFrozen
-		return freezeRes{Total: cm.total, Processed: cm.processedPerWireLocked()}, nil
+		return wire.FreezeRes{Total: cm.total, Processed: cm.processedPerWireLocked()}, nil
 	case kindTotal:
 		cm.mu.Lock()
 		defer cm.mu.Unlock()
@@ -327,7 +333,7 @@ func (cl *Cluster) compRPC(cm *comp, req transport.Request) (any, error) {
 			go func() {
 				// ErrUnreachable means the token already finished (its
 				// endpoint unbound) — only possible for duplicates.
-				_, _ = cl.rc.Call(cm.addr, q.tok, kindResume, resumeMsg{Path: cm.c.Path, Wire: q.wire, Seq: q.seq})
+				_, _ = cl.rc.Call(cm.addr, q.tok, kindResume, wire.Resume{Path: string(cm.c.Path), Wire: q.wire, Seq: q.seq})
 			}()
 		}
 		return len(queue), nil
@@ -420,14 +426,14 @@ func (cl *Cluster) getEP() (*tokenEP, error) {
 	}
 	ep := &tokenEP{
 		addr:   transport.Addr(fmt.Sprintf("t:%d", cl.tokSeq.Add(1))),
-		resume: make(chan resumeMsg, 8),
+		resume: make(chan wire.Resume, 8),
 	}
 	if err := cl.tr.Bind(ep.addr, func(req transport.Request) (any, error) {
-		rm, ok := req.Body.(resumeMsg)
+		rm, ok := req.Body.(wire.Resume)
 		if !ok {
 			return nil, fmt.Errorf("dist: resume body %T", req.Body)
 		}
-		if rm.Seq == ep.cur.Load() {
+		if lo := ep.lo.Load(); lo != 0 && rm.Seq >= lo && rm.Seq <= ep.hi.Load() {
 			ep.resume <- rm
 		}
 		return true, nil
@@ -441,7 +447,8 @@ func (cl *Cluster) getEP() (*tokenEP, error) {
 // is full. Stale resumes buffered by a straggler are drained first so the
 // next occupant starts with an empty mailbox.
 func (cl *Cluster) putEP(ep *tokenEP) {
-	ep.cur.Store(0)
+	ep.lo.Store(0)
+	ep.hi.Store(0)
 	for {
 		select {
 		case <-ep.resume:
@@ -471,15 +478,23 @@ func (cl *Cluster) Inject(in int) (int, error) {
 	return cl.injectOn(ep, in)
 }
 
-// InjectBatch routes len(ins) tokens in sequence, reusing one pooled token
-// endpoint and one traversal context for the whole batch. The per-token
-// setup costs are paid once per batch instead of once per token: one
-// endpoint checkout/return (so the stale-resume mailbox drain in putEP runs
-// once per batch), one atomic claim of the whole token-sequence range, one
-// upfront validation pass over the input wires, and one injected-counter
-// add per run of equal wires (bursty batches are long runs). Tokens still
-// traverse one at a time: batching amortizes setup, it does not reorder or
-// parallelize the batch itself. It returns the output wire of each token.
+// InjectBatch routes len(ins) tokens as a group: at every round, tokens
+// sitting at the same live component are delivered together in ONE group
+// arrive RPC (wire.GroupArrive) instead of one RPC each — on a k-component
+// cut a batch costs one RPC per component visit, not one per token per hop.
+// The counting output is byte-identical to routing the same tokens
+// sequentially (InjectBatchSeq): a component's per-output-wire counts
+// depend only on how many tokens arrived on each input wire, never on
+// their arrival interleaving, so delivering a group in one message is
+// count-for-count the same as delivering it one message at a time.
+//
+// The batch shares one pooled token endpoint whose resume window [lo, hi]
+// covers the whole claimed sequence range: tokens stored by a frozen
+// component re-enter the round loop when their individual resume control
+// messages land. Group routing reorders token *completion* within the
+// batch (a queued token finishes after its groupmates), but per-wire
+// counts — the network's observable output — are unaffected. It returns
+// the output wire of each token.
 func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 	for _, in := range ins {
 		if in < 0 || in >= cl.w {
@@ -493,7 +508,166 @@ func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer cl.putEP(ep) // clears ep.cur and drains stragglers, once per batch
+	defer cl.putEP(ep) // clears the window and drains stragglers, once per batch
+	hi := cl.tokSeq.Add(uint64(len(ins)))
+	base := hi - uint64(len(ins)) + 1
+	// Publish the resume window: hi first, so the endpoint handler never
+	// observes a half-open window accepting seqs above hi.
+	ep.hi.Store(hi)
+	ep.lo.Store(base)
+	// One injected-counter add per run of equal wires, all counted before
+	// the batch routes (count-then-route, as the sequential paths do).
+	for i := 0; i < len(ins); {
+		j := i
+		for j < len(ins) && ins[j] == ins[i] {
+			j++
+		}
+		cl.injected[ins[i]].Add(uint64(j - i))
+		i = j
+	}
+
+	outs := make([]int, len(ins))
+	// pos[i] is token i's current network position; tokens in `active` are
+	// routable now, tokens in `waiting` are stored at a frozen component
+	// keyed by their sequence number until a resume arrives.
+	type tokenPos struct {
+		path tree.Path
+		wire int
+	}
+	pos := make([]tokenPos, len(ins))
+	active := make([]int, len(ins))
+	for i, in := range ins {
+		pos[i] = tokenPos{path: "", wire: in}
+		active[i] = i
+	}
+	waiting := make(map[uint64]int)
+
+	// drainResumes moves resumed tokens back to the active set: always
+	// everything already buffered, and — when nothing is routable — blocking
+	// until at least one token is. Resumes outside `waiting` are stragglers
+	// (duplicated deliveries); the window filter made them rare and this
+	// makes them inert.
+	drainResumes := func() {
+		for len(waiting) > 0 {
+			var rm wire.Resume
+			if len(active) == 0 {
+				rm = <-ep.resume
+			} else {
+				select {
+				case rm = <-ep.resume:
+				default:
+					return
+				}
+			}
+			if idx, ok := waiting[rm.Seq]; ok {
+				delete(waiting, rm.Seq)
+				pos[idx] = tokenPos{path: tree.Path(rm.Path), wire: rm.Wire}
+				active = append(active, idx)
+			}
+		}
+	}
+
+	type group struct {
+		cm    *comp
+		idxs  []int
+		wires []int
+		seqs  []uint64
+	}
+	for len(active) > 0 || len(waiting) > 0 {
+		drainResumes()
+		// Group the routable tokens by the live component covering their
+		// position, in first-seen order.
+		var groups []*group
+		byComp := make(map[*comp]*group)
+		for _, idx := range active {
+			cm, rwire, err := cl.findLive(pos[idx].path, pos[idx].wire)
+			if err != nil {
+				return nil, err
+			}
+			g := byComp[cm]
+			if g == nil {
+				g = &group{cm: cm}
+				byComp[cm] = g
+				groups = append(groups, g)
+			}
+			g.idxs = append(g.idxs, idx)
+			g.wires = append(g.wires, rwire)
+			g.seqs = append(g.seqs, base+uint64(idx))
+		}
+		active = active[:0]
+		for _, g := range groups {
+			var hopStart time.Time
+			if cl.hHop != nil {
+				hopStart = time.Now()
+			}
+			reply, err := cl.rc.Call(ep.addr, g.cm.addr, kindGroupArrive,
+				wire.GroupArrive{Token: string(ep.addr), Wires: g.wires, Seqs: g.seqs})
+			if err != nil {
+				return nil, fmt.Errorf("dist: group arrive at %v: %w", g.cm.c, err)
+			}
+			cl.hHop.Since(hopStart)
+			res, ok := reply.(wire.GroupArriveRes)
+			if !ok {
+				return nil, fmt.Errorf("dist: group arrive reply %T", reply)
+			}
+			switch res.Status {
+			case wire.StatusDead:
+				// The component was replaced between resolution and delivery;
+				// the whole group re-resolves against the current cut.
+				for k, idx := range g.idxs {
+					pos[idx] = tokenPos{path: g.cm.c.Path, wire: g.wires[k]}
+					active = append(active, idx)
+				}
+			case wire.StatusQueued:
+				for k, idx := range g.idxs {
+					waiting[g.seqs[k]] = idx
+				}
+			case wire.StatusProcessed:
+				if len(res.Outs) != len(g.idxs) {
+					return nil, fmt.Errorf("dist: group arrive reply %d outs for %d tokens", len(res.Outs), len(g.idxs))
+				}
+				for k, idx := range g.idxs {
+					next, exited, netOut, err := cl.resolveNext(g.cm.c, res.Outs[k])
+					if err != nil {
+						return nil, err
+					}
+					if exited {
+						cl.out[netOut].Add(1)
+						outs[idx] = netOut
+					} else {
+						pos[idx] = tokenPos{path: next.path, wire: next.wire}
+						active = append(active, idx)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("dist: group arrive status %d", res.Status)
+			}
+		}
+	}
+	return outs, nil
+}
+
+// InjectBatchSeq routes len(ins) tokens one at a time, reusing one pooled
+// token endpoint and one claimed sequence range for the whole batch. This
+// is the pre-group-message batching path — setup amortized, but still one
+// arrive RPC per token per component visit; InjectBatch collapses those
+// into one group RPC per component visit with identical counting output.
+// Kept as the reference and comparison path (experiment E28 measures the
+// two against each other on both fabrics).
+func (cl *Cluster) InjectBatchSeq(ins []int) ([]int, error) {
+	for _, in := range ins {
+		if in < 0 || in >= cl.w {
+			return nil, fmt.Errorf("dist: input wire %d out of range [0,%d)", in, cl.w)
+		}
+	}
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	ep, err := cl.getEP()
+	if err != nil {
+		return nil, err
+	}
+	defer cl.putEP(ep) // clears the window and drains stragglers, once per batch
 	hi := cl.tokSeq.Add(uint64(len(ins)))
 	base := hi - uint64(len(ins)) + 1
 	outs := make([]int, len(ins))
@@ -507,7 +681,8 @@ func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 		cl.injected[ins[i]].Add(uint64(j - i))
 		for ; i < j; i++ {
 			seq := base + uint64(i)
-			ep.cur.Store(seq)
+			ep.hi.Store(seq)
+			ep.lo.Store(seq)
 			out, err := cl.injectOnSeq(ep, ins[i], seq)
 			if err != nil {
 				return outs[:i], err
@@ -526,13 +701,18 @@ func (cl *Cluster) injectOn(ep *tokenEP, in int) (int, error) {
 	cl.injected[in].Add(1)
 
 	seq := cl.tokSeq.Add(1)
-	ep.cur.Store(seq)
-	defer ep.cur.Store(0)
+	ep.hi.Store(seq)
+	ep.lo.Store(seq)
+	defer func() {
+		ep.lo.Store(0)
+		ep.hi.Store(0)
+	}()
 	return cl.injectOnSeq(ep, in, seq)
 }
 
 // injectOnSeq routes one token whose sequence number has been claimed and
-// published to ep.cur by the caller; in has been validated and counted.
+// published to the endpoint's resume window by the caller; in has been
+// validated and counted.
 func (cl *Cluster) injectOnSeq(ep *tokenEP, in int, seq uint64) (int, error) {
 
 	sp := cl.tracer.Start("token")
@@ -543,9 +723,9 @@ func (cl *Cluster) injectOnSeq(ep *tokenEP, in int, seq uint64) (int, error) {
 
 	// The network input wire belongs to whatever live component covers the
 	// root's input descent; delivery re-resolves as needed.
-	path, wire := tree.Path(""), in
+	path, w := tree.Path(""), in
 	for {
-		cm, rwire, err := cl.findLive(path, wire)
+		cm, rwire, err := cl.findLive(path, w)
 		if err != nil {
 			return 0, err
 		}
@@ -553,25 +733,25 @@ func (cl *Cluster) injectOnSeq(ep *tokenEP, in int, seq uint64) (int, error) {
 		if cl.hHop != nil {
 			hopStart = time.Now()
 		}
-		reply, err := cl.rc.CallSpan(ep.addr, cm.addr, kindArrive, arriveReq{Wire: rwire, Token: ep.addr, Seq: seq}, sp)
+		reply, err := cl.rc.CallSpan(ep.addr, cm.addr, kindArrive, wire.Arrive{Wire: rwire, Token: string(ep.addr), Seq: seq}, sp)
 		if err != nil {
 			return 0, fmt.Errorf("dist: arrive at %v: %w", cm.c, err)
 		}
 		cl.hHop.Since(hopStart)
-		res, ok := reply.(arriveRes)
+		res, ok := reply.(wire.ArriveRes)
 		if !ok {
 			return 0, fmt.Errorf("dist: arrive reply %T", reply)
 		}
 		switch res.Status {
-		case statusDead:
+		case wire.StatusDead:
 			// The component was replaced between resolution and delivery;
 			// re-resolve against the current cut.
 			if sp != nil {
 				sp.Event("dead", string(cm.c.Path), int64(rwire))
 			}
-			path, wire = cm.c.Path, rwire
+			path, w = cm.c.Path, rwire
 			continue
-		case statusQueued:
+		case wire.StatusQueued:
 			if sp != nil {
 				sp.Event("queued", string(cm.c.Path), int64(rwire))
 			}
@@ -587,7 +767,7 @@ func (cl *Cluster) injectOnSeq(ep *tokenEP, in int, seq uint64) (int, error) {
 			if sp != nil {
 				sp.Event("resume", string(rt.Path), int64(rt.Wire))
 			}
-			path, wire = rt.Path, rt.Wire
+			path, w = tree.Path(rt.Path), rt.Wire
 			continue
 		}
 		if sp != nil {
@@ -608,7 +788,7 @@ func (cl *Cluster) injectOnSeq(ep *tokenEP, in int, seq uint64) (int, error) {
 			}
 			return netOut, nil
 		}
-		path, wire = next.path, next.wire
+		path, w = next.path, next.wire
 	}
 }
 
@@ -766,7 +946,7 @@ func (cl *Cluster) Split(p tree.Path) error {
 	if err != nil {
 		return err
 	}
-	snap := reply.(freezeRes)
+	snap := reply.(wire.FreezeRes)
 
 	totals, flows, err := component.SplitFlows(cm.c, snap.Processed)
 	if err != nil {
@@ -848,7 +1028,7 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 	// Their freeze snapshots are final: a frozen component's total and
 	// processed history no longer change.
 	deg := len(cms)
-	entrySnaps := make([]freezeRes, 2)
+	entrySnaps := make([]wire.FreezeRes, 2)
 	for i, cm := range cms[:2] {
 		cm.mu.Lock()
 		active := cm.state == stateActive
@@ -860,7 +1040,7 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		if err != nil {
 			return err
 		}
-		entrySnaps[i] = reply.(freezeRes)
+		entrySnaps[i] = reply.(wire.FreezeRes)
 	}
 
 	// Phase 2: wait for internal in-flight tokens to drain, detected by
@@ -900,7 +1080,7 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		if err != nil {
 			return err
 		}
-		totals[2+i] = reply.(freezeRes).Total
+		totals[2+i] = reply.(wire.FreezeRes).Total
 	}
 	arrived := make([]uint64, parent.Width)
 	for i := 0; i < 2; i++ {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/tree"
+	"repro/internal/wire"
 )
 
 func TestValidation(t *testing.T) {
@@ -354,11 +355,11 @@ func TestArriveOnDeadComponent(t *testing.T) {
 		t.Fatal(err)
 	}
 	cm := &comp{c: tree.MustRoot(4), state: stateDead, arrived: make([]uint64, 4)}
-	reply, err := cl.compRPC(cm, transport.Request{Kind: kindArrive, Body: arriveReq{Wire: 0, Token: "t:test"}})
+	reply, err := cl.compRPC(cm, transport.Request{Kind: kindArrive, Body: wire.Arrive{Wire: 0, Token: "t:test"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := reply.(arriveRes); res.Status != statusDead {
+	if res := reply.(wire.ArriveRes); res.Status != wire.StatusDead {
 		t.Fatalf("status = %v, want statusDead", res.Status)
 	}
 	if cm.arrived[0] != 0 {
@@ -374,11 +375,11 @@ func TestArriveOnFrozenComponentQueues(t *testing.T) {
 		t.Fatal(err)
 	}
 	cm := &comp{c: tree.MustRoot(4), state: stateFrozen, arrived: make([]uint64, 4)}
-	reply, err := cl.compRPC(cm, transport.Request{Kind: kindArrive, Body: arriveReq{Wire: 2, Token: "t:test"}})
+	reply, err := cl.compRPC(cm, transport.Request{Kind: kindArrive, Body: wire.Arrive{Wire: 2, Token: "t:test"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := reply.(arriveRes); res.Status != statusQueued {
+	if res := reply.(wire.ArriveRes); res.Status != wire.StatusQueued {
 		t.Fatalf("status = %v, want statusQueued", res.Status)
 	}
 	if cm.arrived[2] != 1 || len(cm.queue) != 1 {

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one experiment
-// per paper claim or figure (E1..E26, indexed in DESIGN.md). Each
+// per paper claim or figure (E1..E28, indexed in DESIGN.md). Each
 // experiment runs a seeded, deterministic workload and produces a Table;
 // EXPERIMENTS.md records the tables next to the paper's claims. The cmd
 // acnbench CLI and the repository's benchmarks both drive this package.
@@ -148,6 +148,7 @@ func registerAll() map[string]Func {
 		"E25": E25Observability,
 		"E26": E26MulticoreScaling,
 		"E27": E27BatchedInjection,
+		"E28": E28WireTransport,
 	}
 }
 

@@ -47,10 +47,10 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 27 {
-		t.Fatalf("got %d experiments, want 27", len(ids))
+	if len(ids) != 28 {
+		t.Fatalf("got %d experiments, want 28", len(ids))
 	}
-	if ids[0] != "E1" || ids[9] != "E10" || ids[26] != "E27" {
+	if ids[0] != "E1" || ids[9] != "E10" || ids[27] != "E28" {
 		t.Fatalf("IDs not numerically ordered: %v", ids)
 	}
 }

@@ -39,6 +39,13 @@ type Config struct {
 	// is stolen by the core that would start serving it earliest. 0 or 1
 	// keeps the single-server behavior exactly.
 	CoresPerNode int
+	// StealCost is the migration penalty a stolen token pays (same time
+	// units as ServiceTime): cache and state movement off the affine core.
+	// A steal only happens when the thief still wins after the penalty —
+	// its effective start (busyUntil + StealCost) beats the affine core's —
+	// and a stolen token occupies the thief for StealCost + ServiceTime.
+	// Zero reproduces the free-stealing behavior exactly. Must be >= 0.
+	StealCost float64
 	// LinkDelay is the one-way latency of a component-to-component wire.
 	LinkDelay float64
 	// ArrivalRate is the Poisson token arrival rate (tokens per time unit).
@@ -155,6 +162,9 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.CoresPerNode < 0 {
 		return nil, fmt.Errorf("sim: CoresPerNode %d must be >= 0", cfg.CoresPerNode)
 	}
+	if cfg.StealCost < 0 {
+		return nil, fmt.Errorf("sim: StealCost %v must be >= 0", cfg.StealCost)
+	}
 	if cfg.CoresPerNode == 0 {
 		cfg.CoresPerNode = 1
 	}
@@ -225,21 +235,31 @@ func (s *Sim) arriveAtEntry(tok *token, in int) {
 
 // arriveAtComp queues the token on a core of the component's host node:
 // the component's affine core, unless that core is backlogged and another
-// core would start serving the token strictly earlier (work stealing; ties
-// keep affinity, and the earliest-start scan breaks its own ties by core
-// index, so runs stay deterministic).
+// core would — even after paying the StealCost migration penalty — start
+// serving the token strictly earlier (work stealing; ties keep affinity,
+// and the earliest-start scan breaks its own ties by core index, so runs
+// stay deterministic). A stolen token occupies the thief for StealCost +
+// ServiceTime: the migration is work the thief does, not elapsed-only
+// latency.
 func (s *Sim) arriveAtComp(tok *token, comp tree.Component) {
 	node := &s.nodes[s.host[comp.Path]]
 	core := &node.cores[s.core[comp.Path]]
+	cost := 0.0
 	if len(node.cores) > 1 && core.busyUntil > s.now {
-		best := core
+		best, bestEff := core, core.busyUntil
 		for i := range node.cores {
-			if node.cores[i].busyUntil < best.busyUntil {
-				best = &node.cores[i]
+			c := &node.cores[i]
+			eff := c.busyUntil
+			if c != core {
+				eff += s.cfg.StealCost
+			}
+			if eff < bestEff {
+				best, bestEff = c, eff
 			}
 		}
 		if best != core {
 			core = best
+			cost = s.cfg.StealCost
 			s.steals++
 		}
 	}
@@ -247,9 +267,9 @@ func (s *Sim) arriveAtComp(tok *token, comp tree.Component) {
 	if core.busyUntil > start {
 		start = core.busyUntil
 	}
-	done := start + s.cfg.ServiceTime
+	done := start + cost + s.cfg.ServiceTime
 	core.busyUntil = done
-	core.busyTotal += s.cfg.ServiceTime
+	core.busyTotal += cost + s.cfg.ServiceTime
 	s.schedule(done, func() { s.processAt(tok, comp) })
 }
 

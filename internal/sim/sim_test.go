@@ -306,3 +306,101 @@ func TestMultiCoreDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// stealBase is the reference config of the steal-cost tests: a saturated
+// assembly where free work stealing is frequent (cores=4 steals ~1.7k of
+// the 500 tokens' component visits).
+func stealBase(t *testing.T) Config {
+	t.Helper()
+	cut, err := tree.UniformCut(1<<6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Width: 1 << 6, Cut: cut, Nodes: 8, CoresPerNode: 4,
+		ServiceTime: 1, LinkDelay: 0.25, ArrivalRate: 3, Tokens: 500, Seed: 42,
+	}
+}
+
+func runSteal(t *testing.T, cfg Config) Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestStealCostZeroExact pins StealCost=0 to the exact numbers the
+// free-stealing scheduler produced before the parameter existed (captured
+// from this config at the commit introducing StealCost): the penalty path
+// must be invisible when the penalty is zero — bit-identical floats, not
+// approximately equal.
+func TestStealCostZeroExact(t *testing.T) {
+	cfg := stealBase(t)
+	cfg.StealCost = 0
+	r := runSteal(t, cfg)
+	if r.Makespan != 260.0728911055079 ||
+		r.Throughput != 1.9225379387856194 ||
+		r.LatencyMean != 59.99162786262542 ||
+		r.LatencyP50 != 50.59890378509476 ||
+		r.LatencyP99 != 159.34018652475697 ||
+		r.MaxNodeBusy != 0.9843394246582371 ||
+		r.Steals != 1738 {
+		t.Fatalf("StealCost=0 diverged from the free-stealing baseline: %+v", r)
+	}
+
+	cfg.CoresPerNode = 1
+	cfg.StealCost = 0
+	r1 := runSteal(t, cfg)
+	if r1.Makespan != 1024.1652461383007 || r1.Steals != 0 ||
+		r1.MaxNodeBusy != 0.9998386528551678 {
+		t.Fatalf("cores=1 StealCost=0 diverged from baseline: %+v", r1)
+	}
+}
+
+// TestStealCostThrottlesStealing: raising the migration penalty makes
+// stealing strictly rarer (a thief must still win after paying it), a
+// prohibitive penalty disables stealing entirely, and token conservation
+// holds at every setting.
+func TestStealCostThrottlesStealing(t *testing.T) {
+	cfg := stealBase(t)
+	var prev Result
+	for i, cost := range []float64{0, 0.5, 2, 1000} {
+		cfg.StealCost = cost
+		r := runSteal(t, cfg)
+		if r.Completed != cfg.Tokens {
+			t.Fatalf("StealCost=%v lost tokens: %d of %d", cost, r.Completed, cfg.Tokens)
+		}
+		if !balancer.Seq(r.Out).HasStep() {
+			t.Fatalf("StealCost=%v broke the step property: %v", cost, r.Out)
+		}
+		if i > 0 && r.Steals > prev.Steals {
+			t.Fatalf("StealCost %v stole more than cheaper %v: %d > %d", cost, prev, r.Steals, prev.Steals)
+		}
+		prev = r
+	}
+	if prev.Steals != 0 {
+		t.Fatalf("prohibitive StealCost still stole %d times", prev.Steals)
+	}
+
+	// Determinism: the penalized scan replays identically.
+	cfg.StealCost = 0.5
+	a, b := runSteal(t, cfg), runSteal(t, cfg)
+	if a.Makespan != b.Makespan || a.Steals != b.Steals {
+		t.Fatalf("StealCost runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestStealCostValidation: a negative migration penalty is a config error.
+func TestStealCostValidation(t *testing.T) {
+	cfg := stealBase(t)
+	cfg.StealCost = -0.1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative StealCost accepted")
+	}
+}

@@ -137,19 +137,94 @@ func TestEnableDedupLiveSwitch(t *testing.T) {
 	}
 }
 
+// TestDedupBounded is the retirement-bound contract: a long-lived endpoint
+// must not accumulate dedup state forever. Completed calls retire oldest
+// first once a stripe passes its share of the cap, recent completions stay
+// deduplicable, and in-flight calls are never evicted regardless of
+// pressure.
+func TestDedupBounded(t *testing.T) {
+	const capTotal = DedupShards * 8
+	tbl := NewDedupTable(capTotal)
+	var runs atomic.Int64
+	exec := func() (any, error) { return runs.Add(1), nil }
+
+	// 100x the cap in distinct IDs: the table must stay at (or below) the
+	// cap instead of growing with traffic.
+	for id := uint64(1); id <= capTotal*100; id++ {
+		if _, err, _ := tbl.Do(id, exec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tbl.Len(); n > capTotal {
+		t.Fatalf("table holds %d entries after %d calls, cap %d", n, capTotal*100, capTotal)
+	}
+	if n := tbl.Len(); n == 0 {
+		t.Fatal("table empty; retirement evicted the live window too")
+	}
+
+	// The most recent completion is still cached: its duplicate must hit.
+	last := uint64(capTotal * 100)
+	if _, _, hit := tbl.Do(last, exec); !hit {
+		t.Fatal("duplicate of the most recent call re-executed; retained window broken")
+	}
+	// A call far behind the retained window has been retired: its duplicate
+	// re-executes (the documented bound semantic — acceptable because the
+	// client protocol never re-sends an ID after receiving a reply).
+	before := runs.Load()
+	if _, _, hit := tbl.Do(1, exec); hit {
+		t.Fatal("ancient ID still cached; retirement not happening")
+	}
+	if runs.Load() != before+1 {
+		t.Fatal("retired ID neither hit nor re-executed")
+	}
+
+	// In-flight calls survive any amount of retirement pressure: a
+	// duplicate arriving mid-execution awaits the original instead of
+	// re-running it.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var inflightRuns atomic.Int64
+	go tbl.Do(1<<40, func() (any, error) {
+		inflightRuns.Add(1)
+		close(started)
+		<-release
+		return "slow", nil
+	})
+	<-started
+	for id := uint64(1 << 41); id < 1<<41+capTotal*4; id++ {
+		if _, err, _ := tbl.Do(id, exec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reply, _, hit := tbl.Do(1<<40, func() (any, error) { inflightRuns.Add(1); return "dup", nil })
+		if !hit || reply != "slow" {
+			t.Errorf("in-flight duplicate: hit=%v reply=%v, want cached original", hit, reply)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(release)
+	<-done
+	if inflightRuns.Load() != 1 {
+		t.Fatalf("in-flight call executed %d times", inflightRuns.Load())
+	}
+}
+
 // TestDedupShardSpread checks the shard hash statically: 4096 consecutive
 // request IDs — the allocation pattern of transport.Client — must touch
 // every stripe with no stripe holding more than twice its fair share.
 func TestDedupShardSpread(t *testing.T) {
-	tbl := newDedupTable()
+	tbl := NewDedupTable(0)
 	counts := make(map[*dedupShard]int)
 	for id := uint64(1); id <= 4096; id++ {
 		counts[tbl.shard(id)]++
 	}
-	if len(counts) != dedupShards {
-		t.Fatalf("consecutive IDs touched %d of %d stripes", len(counts), dedupShards)
+	if len(counts) != DedupShards {
+		t.Fatalf("consecutive IDs touched %d of %d stripes", len(counts), DedupShards)
 	}
-	fair := 4096 / dedupShards
+	fair := 4096 / DedupShards
 	for _, c := range counts {
 		if c > 2*fair {
 			t.Fatalf("stripe holds %d of 4096 IDs (fair share %d)", c, fair)

@@ -47,9 +47,16 @@ type Faulty struct {
 // maxLatencySamples bounds the latency sample buffer.
 const maxLatencySamples = 1 << 18
 
-// NewFaulty wraps inner with fault injection.
-func NewFaulty(inner *Net, cfg FaultConfig) *Faulty {
-	inner.EnableDedup()
+// NewFaulty wraps inner with fault injection. Any fabric works — the
+// in-memory switch or a tcpnet socket fabric — because the faults are
+// injected around inner.Send; if the fabric supports receiver-side dedup
+// (Deduper), it is switched on, since retries and injected duplicates make
+// at-most-once delivery depend on receivers remembering executed request
+// IDs.
+func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	if d, ok := inner.(Deduper); ok {
+		d.EnableDedup()
+	}
 	return &Faulty{
 		inner: inner,
 		cfg:   cfg,

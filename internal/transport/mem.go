@@ -14,13 +14,10 @@ import (
 //
 // When dedup is enabled (it is off on the ideal fabric, where every logical
 // call is sent exactly once, and switched on by Faulty), each endpoint
-// remembers the reply for every request ID it has executed: a retry or a
-// network duplicate of an already-executed request returns the cached reply
-// without re-running the handler. This is the receiver half of at-most-once
-// delivery; the in-flight window (a duplicate arriving while the original
-// is still executing) blocks until the original's reply is ready. The call
-// cache is striped (dedupShards stripes keyed by a hash of the request ID),
-// so concurrent senders serialize only within a stripe, not per endpoint.
+// carries a bounded DedupTable: a retry or a network duplicate of an
+// already-executed request returns the cached reply without re-running the
+// handler. This is the receiver half of at-most-once delivery; see
+// DedupTable for the striping and the retirement bound.
 type Net struct {
 	mu    sync.RWMutex
 	eps   map[Addr]*endpoint
@@ -38,49 +35,7 @@ type Net struct {
 type endpoint struct {
 	h Handler
 
-	dedup atomic.Pointer[dedupTable] // nil until dedup is enabled
-}
-
-// dedupShards is the number of stripes in an endpoint's request-ID table.
-// Retried calls land on the stripe their ID hashes to, so concurrent senders
-// with distinct IDs contend only on map growth within their own stripe
-// instead of on one endpoint-wide mutex. Power of two (the shard hash keeps
-// the top log2(dedupShards) bits of a Fibonacci mix).
-const dedupShards = 16
-
-// dedupShard is one stripe: a mutex, the calls it guards, and a hit counter.
-type dedupShard struct {
-	mu    sync.Mutex
-	calls map[uint64]*call // by request ID
-	hits  atomic.Uint64    // duplicates served from this stripe
-}
-
-// dedupTable is an endpoint's striped at-most-once cache.
-type dedupTable struct {
-	shards [dedupShards]dedupShard
-}
-
-func newDedupTable() *dedupTable {
-	t := &dedupTable{}
-	for i := range t.shards {
-		t.shards[i].calls = make(map[uint64]*call)
-	}
-	return t
-}
-
-// shard maps a request ID to its stripe. Request IDs are sequential
-// (transport.Client allocates them with an atomic counter), so the Fibonacci
-// multiply spreads consecutive IDs across stripes; keeping the top bits makes
-// the low-bit patterns of small IDs irrelevant.
-func (t *dedupTable) shard(id uint64) *dedupShard {
-	return &t.shards[(id*0x9e3779b97f4a7c15)>>(64-4)] // 2^4 == dedupShards
-}
-
-// call is one executed (or executing) request.
-type call struct {
-	done  chan struct{}
-	reply any
-	err   error
+	dedup atomic.Pointer[DedupTable] // nil until dedup is enabled
 }
 
 // NewMem creates an empty in-memory switch.
@@ -99,7 +54,7 @@ func (n *Net) EnableDedup() {
 		// CAS so enabling twice never discards a table already holding
 		// cached replies. Sends racing the installation either miss the
 		// table (direct execution, the pre-dedup semantic) or use it.
-		ep.dedup.CompareAndSwap(nil, newDedupTable())
+		ep.dedup.CompareAndSwap(nil, NewDedupTable(0))
 	}
 }
 
@@ -115,7 +70,7 @@ func (n *Net) Bind(a Addr, h Handler) error {
 	}
 	ep := &endpoint{h: h}
 	if n.dedup {
-		ep.dedup.Store(newDedupTable())
+		ep.dedup.Store(NewDedupTable(0))
 	}
 	n.eps[a] = ep
 	return nil
@@ -145,42 +100,48 @@ func (n *Net) Send(req Request, timeout time.Duration) (any, error) {
 		n.delivered.Add(1)
 		return ep.h(req)
 	}
-	sh := tbl.shard(req.ID)
-	sh.mu.Lock()
-	if c, ok := sh.calls[req.ID]; ok {
-		// Duplicate: wait for the original execution and reuse its reply.
-		sh.mu.Unlock()
-		sh.hits.Add(1)
+	reply, err, hit := tbl.Do(req.ID, func() (any, error) {
+		n.delivered.Add(1)
+		return ep.h(req)
+	})
+	if hit {
 		n.dedupHits.Add(1)
-		<-c.done
-		return c.reply, c.err
 	}
-	c := &call{done: make(chan struct{})}
-	sh.calls[req.ID] = c
-	sh.mu.Unlock()
-
-	n.delivered.Add(1)
-	c.reply, c.err = ep.h(req)
-	close(c.done)
-	return c.reply, c.err
+	return reply, err
 }
 
 // DedupShardHits returns the per-stripe duplicate counts summed across all
 // bound endpoints (index i is stripe i of every endpoint's table). The sum
 // over the slice equals Stats().DedupHits; the spread across entries shows
 // how well the shard hash distributes retried request IDs.
-func (n *Net) DedupShardHits() [dedupShards]uint64 {
-	var hits [dedupShards]uint64
+func (n *Net) DedupShardHits() [DedupShards]uint64 {
+	var hits [DedupShards]uint64
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	for _, ep := range n.eps {
 		if tbl := ep.dedup.Load(); tbl != nil {
-			for i := range tbl.shards {
-				hits[i] += tbl.shards[i].hits.Load()
+			sh := tbl.ShardHits()
+			for i := range sh {
+				hits[i] += sh[i]
 			}
 		}
 	}
 	return hits
+}
+
+// DedupEntries returns the number of cached calls across all bound
+// endpoints — the quantity the dedup retirement bound keeps flat on
+// long-lived endpoints.
+func (n *Net) DedupEntries() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	total := 0
+	for _, ep := range n.eps {
+		if tbl := ep.dedup.Load(); tbl != nil {
+			total += tbl.Len()
+		}
+	}
+	return total
 }
 
 // Stats implements Transport.

@@ -1,0 +1,392 @@
+package tcpnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// replyWriteTimeout bounds a handler-side reply write: a peer that stops
+// reading cannot wedge a handler goroutine forever.
+const replyWriteTimeout = 5 * time.Second
+
+// conn is one TCP connection, usable in both roles at once: the read loop
+// dispatches reply frames to this side's pending calls and serves request
+// frames with this side's handlers. Writes (request and reply frames
+// alike) serialize on wmu so frames never interleave.
+type conn struct {
+	n *Net
+	c net.Conn
+
+	wmu sync.Mutex
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Reply
+	nextMux atomic.Uint64
+
+	dead     chan struct{}
+	dieOnce  sync.Once
+	retireFn func() // removes the conn from its pool, nil for accepted conns
+
+	// ins is the handle set current at creation; die decrements the same
+	// gauge newConn incremented even if Instrument swapped handles since.
+	ins *instruments
+}
+
+// newConn wraps a socket. The caller wires retireFn (if any) and then
+// calls start; nothing reads the conn before start, so the wiring is
+// race-free.
+func (n *Net) newConn(c net.Conn) *conn {
+	cn := &conn{
+		n:       n,
+		c:       c,
+		pending: make(map[uint64]chan *wire.Reply),
+		dead:    make(chan struct{}),
+		ins:     n.ins(),
+	}
+	n.connsOpen.Add(1)
+	cn.ins.gConn.Add(1)
+	return cn
+}
+
+// start launches the read loop.
+func (cn *conn) start() {
+	cn.n.loops.Add(1)
+	go cn.readLoop()
+}
+
+// die closes the connection once: socket closed, pending callers released
+// via the dead channel, pool membership retired.
+func (cn *conn) die() {
+	cn.dieOnce.Do(func() {
+		close(cn.dead)
+		_ = cn.c.Close()
+		cn.n.connsOpen.Add(-1)
+		cn.ins.gConn.Add(-1)
+		if cn.retireFn != nil {
+			cn.retireFn()
+		}
+	})
+}
+
+func (cn *conn) addPending(mux uint64, ch chan *wire.Reply) {
+	cn.pmu.Lock()
+	cn.pending[mux] = ch
+	cn.pmu.Unlock()
+}
+
+func (cn *conn) removePending(mux uint64) {
+	cn.pmu.Lock()
+	delete(cn.pending, mux)
+	cn.pmu.Unlock()
+}
+
+// write sends one pre-framed message with a deadline. A failed write kills
+// the connection: frame boundaries cannot be trusted after a partial
+// write.
+func (cn *conn) write(frame []byte, timeout time.Duration) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if timeout > 0 {
+		_ = cn.c.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err := cn.c.Write(frame)
+	if err != nil {
+		cn.die()
+	}
+	return err
+}
+
+// readLoop decodes frames until the connection dies. Replies release their
+// pending callers; requests are served on fresh goroutines so one slow
+// handler never blocks the demultiplexer.
+func (cn *conn) readLoop() {
+	defer cn.n.loops.Done()
+	defer cn.die()
+	br := bufio.NewReaderSize(cn.c, 32*1024)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			return // conn closed or broken; pending callers see cn.dead
+		}
+		buf = payload[:0]
+		ins := cn.n.ins()
+		cn.n.bytesIn.Add(uint64(len(payload)))
+		ins.cIn.Add(uint64(len(payload)))
+
+		var decStart time.Time
+		if ins.hDec != nil {
+			decStart = time.Now()
+		}
+		msg, err := wire.DecodeFrame(payload)
+		ins.hDec.Since(decStart)
+		if err != nil {
+			// A frame that does not decode poisons the stream's framing
+			// trust; drop the connection and let senders retry elsewhere.
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Reply:
+			cn.pmu.Lock()
+			ch := cn.pending[m.Mux]
+			delete(cn.pending, m.Mux)
+			cn.pmu.Unlock()
+			if ch != nil {
+				ch <- m // buffered; a timed-out caller just never reads it
+			}
+		case *wire.Request:
+			cn.n.serveRequest(cn, m)
+		}
+	}
+}
+
+// serveRequest runs one inbound request on its own goroutine and writes
+// the reply frame back on the same connection. Requests arriving after
+// Close has begun are dropped (the peer's retry will fail on the closed
+// listener), which is what lets Close wait for a quiesced in-flight set.
+func (n *Net) serveRequest(c *conn, wreq *wire.Request) {
+	n.flightMu.Lock()
+	if n.closed.Load() {
+		n.flightMu.Unlock()
+		return
+	}
+	n.inflight.Add(1)
+	n.flightMu.Unlock()
+	go func() {
+		defer n.inflight.Done()
+		status, body, errText := n.dispatch(wreq.Req)
+
+		codec, _ := wire.ByKind(wreq.Req.Kind)
+		enc := encoders.Get().(*wire.Encoder)
+		defer func() { enc.Reset(); encoders.Put(enc) }()
+		enc.Reset()
+		ins := n.ins()
+		var encStart time.Time
+		if ins.hEnc != nil {
+			encStart = time.Now()
+		}
+		if err := wire.EncodeReply(enc, wreq.Mux, codec.Code, status, body, errText); err != nil {
+			// The handler returned a reply the codec cannot carry; degrade
+			// to an application error so the caller is not left to time
+			// out.
+			enc.Reset()
+			_ = wire.EncodeReply(enc, wreq.Mux, codec.Code, wire.ReplyBadRequest, nil, err.Error())
+		}
+		frame, err := wire.AppendFrame(nil, enc.Bytes())
+		ins.hEnc.Since(encStart)
+		if err != nil {
+			return
+		}
+		if c.write(frame, replyWriteTimeout) == nil {
+			n.bytesOut.Add(uint64(len(frame)))
+			ins.cOut.Add(uint64(len(frame)))
+		}
+	}()
+}
+
+// dispatch executes a request against the local endpoint table, applying
+// receiver-side dedup when enabled.
+func (n *Net) dispatch(req transport.Request) (wire.ReplyStatus, any, string) {
+	n.mu.RLock()
+	ep := n.eps[req.To]
+	n.mu.RUnlock()
+	if ep == nil {
+		return wire.ReplyUnreachable, nil, string(req.To)
+	}
+	run := func() (any, error) {
+		n.delivered.Add(1)
+		return ep.h(req)
+	}
+	var reply any
+	var err error
+	if tbl := ep.dedup.Load(); tbl != nil {
+		var hit bool
+		reply, err, hit = tbl.Do(req.ID, run)
+		if hit {
+			n.dedupHits.Add(1)
+		}
+	} else {
+		reply, err = run()
+	}
+	if err != nil {
+		return wire.ReplyAppError, nil, err.Error()
+	}
+	return wire.ReplyOK, reply, ""
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (n *Net) acceptLoop() {
+	defer n.loops.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		setNoDelay(c)
+		cn := n.newConn(c)
+		// Accepted conns die with the fabric: register for Close.
+		n.poolMu.Lock()
+		n.accepted = append(n.accepted, cn)
+		n.poolMu.Unlock()
+		cn.start()
+	}
+}
+
+// setNoDelay disables Nagle: the fabric's messages are small
+// request/reply frames where coalescing delay is pure latency.
+func setNoDelay(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+}
+
+// pool is the per-destination connection set: up to cfg.PoolSize conns,
+// dialed on demand, picked round-robin, with exponential backoff after
+// dial failures (a destination that refused recently fails fast instead of
+// hammering).
+type pool struct {
+	n      *Net
+	target string
+
+	mu       sync.Mutex
+	cond     *sync.Cond // lazily created; signals dial completion
+	conns    []*conn
+	dialing  int // dials in progress, holding pool slots
+	rr       uint64
+	backoff  time.Duration
+	coolDown time.Time
+}
+
+func (n *Net) pool(target string) *pool {
+	n.poolMu.Lock()
+	defer n.poolMu.Unlock()
+	p := n.pools[target]
+	if p == nil {
+		p = &pool{n: n, target: target, backoff: n.cfg.DialBackoff}
+		n.pools[target] = p
+	}
+	return p
+}
+
+// conn returns a healthy pooled connection, dialing when the pool is not
+// full. Dials in progress hold pool slots, so concurrent first callers
+// cannot race the pool past PoolSize; callers finding every slot mid-dial
+// wait for one to resolve. Within a post-failure cooldown window the pool
+// fails fast with ErrUnreachable rather than re-dialing a destination that
+// just refused.
+func (p *pool) conn() (*conn, error) {
+	p.mu.Lock()
+	for {
+		// Sweep dead conns so round-robin only sees live ones (die() retires
+		// asynchronously; a conn can break between retirement and this pick).
+		live := p.conns[:0]
+		for _, c := range p.conns {
+			select {
+			case <-c.dead:
+			default:
+				live = append(live, c)
+			}
+		}
+		p.conns = live
+		cooling := !p.coolDown.IsZero() && time.Now().Before(p.coolDown)
+		if len(p.conns) > 0 && (len(p.conns)+p.dialing >= p.n.cfg.PoolSize || cooling) {
+			p.rr++
+			c := p.conns[p.rr%uint64(len(p.conns))]
+			p.mu.Unlock()
+			return c, nil
+		}
+		if cooling {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s dial cooling down", transport.ErrUnreachable, p.target)
+		}
+		if len(p.conns)+p.dialing < p.n.cfg.PoolSize {
+			p.dialing++
+			p.mu.Unlock()
+			c, err := p.dial()
+			p.mu.Lock()
+			p.dialing--
+			if p.cond != nil {
+				p.cond.Broadcast()
+			}
+			if err != nil {
+				p.mu.Unlock()
+				return nil, err
+			}
+			p.conns = append(p.conns, c)
+			p.mu.Unlock()
+			return c, nil
+		}
+		// No live conn and every slot is mid-dial: wait for one to resolve,
+		// then re-evaluate.
+		if p.cond == nil {
+			p.cond = sync.NewCond(&p.mu)
+		}
+		p.cond.Wait()
+	}
+}
+
+// dial attempts to connect with exponential backoff between attempts.
+func (p *pool) dial() (*conn, error) {
+	wait := p.n.cfg.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < p.n.cfg.DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(wait)
+			if wait *= 2; wait > p.n.cfg.DialBackoffCap {
+				wait = p.n.cfg.DialBackoffCap
+			}
+		}
+		c, err := net.DialTimeout("tcp", p.target, time.Second)
+		if err == nil {
+			p.n.dials.Add(1)
+			setNoDelay(c)
+			p.mu.Lock()
+			p.backoff = p.n.cfg.DialBackoff
+			p.coolDown = time.Time{}
+			p.mu.Unlock()
+			cn := p.n.newConn(c)
+			cn.retireFn = func() { p.retire(cn) }
+			cn.start()
+			return cn, nil
+		}
+		lastErr = err
+		p.n.dialFails.Add(1)
+	}
+	p.mu.Lock()
+	p.coolDown = time.Now().Add(p.backoff)
+	if p.backoff *= 2; p.backoff > p.n.cfg.DialBackoffCap {
+		p.backoff = p.n.cfg.DialBackoffCap
+	}
+	p.mu.Unlock()
+	return nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, p.target, lastErr)
+}
+
+// retire removes a dead connection from the pool.
+func (p *pool) retire(dead *conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, c := range p.conns {
+		if c == dead {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// close kills every pooled connection.
+func (p *pool) close() {
+	p.mu.Lock()
+	conns := append([]*conn(nil), p.conns...)
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.die()
+	}
+}

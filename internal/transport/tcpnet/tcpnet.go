@@ -1,0 +1,432 @@
+// Package tcpnet is the socket implementation of transport.Transport:
+// the same request/reply fabric the in-memory switch provides, over real
+// TCP connections framed by the internal/wire binary codec. Everything
+// built on transport — chord RPCs, dist token and freeze traffic, the
+// retry Client, the Faulty fault injector — composes with it unchanged,
+// which is the point: the protocol layers cannot tell a socket from a
+// function call, but latency, scheduling and byte costs become real.
+//
+//   - Each Net owns one TCP listener. Bound addresses are endpoints served
+//     by that listener; Send resolves the destination address to a
+//     host:port (its own listener by default, or per-prefix routes added
+//     with Route for multi-fabric topologies) and issues the call over a
+//     pooled connection.
+//   - Connections multiplex: every request frame carries a per-attempt mux
+//     ID, replies come back tagged with it, so many concurrent calls share
+//     a few connections in both directions. A small per-destination pool
+//     (PoolSize conns, dialed on demand with exponential backoff) keeps
+//     head-of-line blocking bounded without a conn per call.
+//   - Per-call deadlines map to the transport error vocabulary: no reply
+//     within the timeout is ErrTimeout (retried by Client), an
+//     unresolvable or undialable destination is ErrUnreachable (not
+//     retried; the caller re-resolves), and a handler-side "no endpoint
+//     bound" reply is ErrUnreachable too, exactly like the memory switch.
+//   - Receiver-side dedup is the same bounded DedupTable the memory switch
+//     uses, keyed per endpoint, so retries and wire-level duplicates keep
+//     handler effects at-most-once (the E24 exactness property) over a
+//     real socket.
+//   - Close is graceful: the listener stops accepting, in-flight handlers
+//     run to completion and their replies are flushed before connections
+//     die; only then do pending callers see errors.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config shapes a Net. The zero value works: listen on a loopback port
+// chosen by the kernel, PoolSize 2, default dial backoff.
+type Config struct {
+	// Listen is the listen address (host:port). Empty means
+	// "127.0.0.1:0": loopback, kernel-assigned port.
+	Listen string
+	// PoolSize is the number of connections kept per destination. 0 means
+	// 2: one is enough for correctness, a second keeps a large group
+	// message from head-of-line blocking small control traffic.
+	PoolSize int
+	// DialBackoff is the wait after a failed dial before the next attempt;
+	// it doubles per consecutive failure up to DialBackoffCap. Zero means
+	// 1ms / 50ms.
+	DialBackoff    time.Duration
+	DialBackoffCap time.Duration
+	// DialAttempts is the number of dial tries per Send before giving up
+	// with ErrUnreachable. 0 means 3.
+	DialAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = time.Millisecond
+	}
+	if c.DialBackoffCap < c.DialBackoff {
+		c.DialBackoffCap = 50 * time.Millisecond
+	}
+	if c.DialAttempts <= 0 {
+		c.DialAttempts = 3
+	}
+	return c
+}
+
+// endpoint is one bound address on the receiving side.
+type endpoint struct {
+	h     transport.Handler
+	dedup atomic.Pointer[transport.DedupTable] // nil until dedup enabled
+}
+
+// WireStats are the byte- and connection-level counters a socket fabric
+// has and the memory switch does not.
+type WireStats struct {
+	BytesIn   uint64 // frame bytes read (requests received + replies received)
+	BytesOut  uint64 // frame bytes written (requests sent + replies sent)
+	Dials     uint64 // outbound connections established
+	DialFails uint64 // dial attempts that failed
+	ConnsOpen int64  // currently open connections (both directions)
+}
+
+// Net is a TCP fabric. It implements transport.Transport and
+// transport.Deduper.
+type Net struct {
+	cfg  Config
+	ln   net.Listener
+	addr string
+
+	mu    sync.RWMutex
+	eps   map[transport.Addr]*endpoint
+	dedup bool
+
+	routeMu sync.RWMutex
+	routes  []route // longest-prefix destination routes; nil target = self
+
+	poolMu   sync.Mutex
+	pools    map[string]*pool
+	accepted []*conn // inbound conns, closed with the fabric
+
+	closed  atomic.Bool
+	closeCh chan struct{}
+	// inflight counts handler executions plus their reply writes; Close
+	// waits on it so accepted requests always get their reply flushed.
+	// flightMu orders the closed check against inflight.Add so no handler
+	// starts after Close has begun waiting.
+	flightMu sync.Mutex
+	inflight sync.WaitGroup
+	// outcalls counts Sends in progress; Close waits on it after the
+	// handler drain so replies already flushed to the kernel are consumed
+	// by their callers before the pooled conns die.
+	outcalls sync.WaitGroup
+	// loops counts the accept loop and per-connection read loops.
+	loops sync.WaitGroup
+
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dedupHits atomic.Uint64
+	bytesIn   atomic.Uint64
+	bytesOut  atomic.Uint64
+	dials     atomic.Uint64
+	dialFails atomic.Uint64
+	connsOpen atomic.Int64
+
+	// Observability handles, swapped in atomically by Instrument (the
+	// accept and read loops are already running by then). All handles are
+	// nil until instrumented; obs instruments no-op on nil receivers.
+	instr atomic.Pointer[instruments]
+}
+
+// instruments bundles the obs handles so they install atomically.
+type instruments struct {
+	hEnc  *obs.Hist // encode seconds per message
+	hDec  *obs.Hist // decode seconds per message
+	cIn   *obs.Counter
+	cOut  *obs.Counter
+	gConn *obs.Gauge
+}
+
+var noInstr = &instruments{}
+
+// ins returns the current handle set, never nil.
+func (n *Net) ins() *instruments {
+	if p := n.instr.Load(); p != nil {
+		return p
+	}
+	return noInstr
+}
+
+type route struct {
+	prefix string
+	target string // host:port
+}
+
+// New creates a Net listening per cfg and starts serving.
+func New(cfg Config) (*Net, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Listen, err)
+	}
+	n := &Net{
+		cfg:     cfg,
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		eps:     make(map[transport.Addr]*endpoint),
+		pools:   make(map[string]*pool),
+		closeCh: make(chan struct{}),
+	}
+	n.loops.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the fabric's listen address (host:port), the value other
+// Nets route to.
+func (n *Net) Addr() string { return n.addr }
+
+// Route sends destination addresses with the given prefix to the fabric
+// listening at hostport (its Addr). Longest prefix wins; unmatched
+// addresses are served by this Net's own listener. Routing "" rewires the
+// default.
+func (n *Net) Route(prefix, hostport string) {
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
+	for i := range n.routes {
+		if n.routes[i].prefix == prefix {
+			n.routes[i].target = hostport
+			return
+		}
+	}
+	n.routes = append(n.routes, route{prefix: prefix, target: hostport})
+	sort.Slice(n.routes, func(i, j int) bool {
+		return len(n.routes[i].prefix) > len(n.routes[j].prefix)
+	})
+}
+
+// resolve maps a destination address to the host:port serving it.
+func (n *Net) resolve(a transport.Addr) string {
+	n.routeMu.RLock()
+	defer n.routeMu.RUnlock()
+	for _, r := range n.routes {
+		if strings.HasPrefix(string(a), r.prefix) {
+			return r.target
+		}
+	}
+	return n.addr
+}
+
+// Instrument routes the fabric's socket-level distributions and counters
+// into reg: per-message encode/decode seconds, frame bytes in/out, and
+// open connections. Safe to call while traffic flows; the handle set
+// installs atomically (connections opened before the call are not
+// reflected in the gauge).
+func (n *Net) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.instr.Store(&instruments{
+		hEnc:  reg.Histogram("tcpnet.encode.seconds", 0, 0.001, 200),
+		hDec:  reg.Histogram("tcpnet.decode.seconds", 0, 0.001, 200),
+		cIn:   reg.Counter("tcpnet.bytes.in"),
+		cOut:  reg.Counter("tcpnet.bytes.out"),
+		gConn: reg.Gauge("tcpnet.conns.open"),
+	})
+}
+
+// EnableDedup implements transport.Deduper: every current and future
+// endpoint gets a bounded at-most-once call cache.
+func (n *Net) EnableDedup() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dedup = true
+	for _, ep := range n.eps {
+		ep.dedup.CompareAndSwap(nil, transport.NewDedupTable(0))
+	}
+}
+
+// Bind implements transport.Transport.
+func (n *Net) Bind(a transport.Addr, h transport.Handler) error {
+	if h == nil {
+		return fmt.Errorf("tcpnet: nil handler for %q", a)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.eps[a]; ok {
+		return fmt.Errorf("tcpnet: address %q already bound", a)
+	}
+	ep := &endpoint{h: h}
+	if n.dedup {
+		ep.dedup.Store(transport.NewDedupTable(0))
+	}
+	n.eps[a] = ep
+	return nil
+}
+
+// Unbind implements transport.Transport.
+func (n *Net) Unbind(a transport.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.eps, a)
+}
+
+// Send implements transport.Transport: encode the request with the wire
+// codec, ship it over a pooled connection to the destination fabric, and
+// wait for the matching reply frame no longer than timeout.
+func (n *Net) Send(req transport.Request, timeout time.Duration) (any, error) {
+	n.sent.Add(1)
+	n.flightMu.Lock()
+	if n.closed.Load() {
+		n.flightMu.Unlock()
+		return nil, fmt.Errorf("%w: fabric closed", transport.ErrUnreachable)
+	}
+	n.outcalls.Add(1)
+	n.flightMu.Unlock()
+	defer n.outcalls.Done()
+	p := n.pool(n.resolve(req.To))
+	c, err := p.conn()
+	if err != nil {
+		return nil, err
+	}
+
+	mux := c.nextMux.Add(1)
+	ch := make(chan *wire.Reply, 1)
+	c.addPending(mux, ch)
+	defer c.removePending(mux)
+
+	ins := n.ins()
+	var encStart time.Time
+	if ins.hEnc != nil {
+		encStart = time.Now()
+	}
+	enc := encoders.Get().(*wire.Encoder)
+	defer func() { enc.Reset(); encoders.Put(enc) }()
+	enc.Reset()
+	if err := wire.EncodeRequest(enc, mux, req); err != nil {
+		return nil, err
+	}
+	frame, err := wire.AppendFrame(nil, enc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	ins.hEnc.Since(encStart)
+	if err := c.write(frame, timeout); err != nil {
+		// The conn died under us; it is already retired from the pool. The
+		// request may or may not have left — indistinguishable from a lost
+		// leg, so surface the retryable class.
+		return nil, fmt.Errorf("%w: %v", transport.ErrTimeout, err)
+	}
+	n.bytesOut.Add(uint64(len(frame)))
+	ins.cOut.Add(uint64(len(frame)))
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case rep := <-ch:
+		return replyValue(rep)
+	case <-t.C:
+		return nil, transport.ErrTimeout
+	case <-c.dead:
+		// Connection failed while we waited: the reply can never arrive.
+		// Retryable, same as a lost reply leg.
+		return nil, fmt.Errorf("%w: connection lost", transport.ErrTimeout)
+	}
+}
+
+// replyValue maps a decoded reply envelope to the Send return contract.
+func replyValue(rep *wire.Reply) (any, error) {
+	switch rep.Status {
+	case wire.ReplyOK:
+		return rep.Body, nil
+	case wire.ReplyAppError:
+		return nil, errors.New(rep.ErrText)
+	case wire.ReplyUnreachable:
+		return nil, fmt.Errorf("%w: %s", transport.ErrUnreachable, rep.ErrText)
+	default:
+		return nil, fmt.Errorf("tcpnet: bad request: %s", rep.ErrText)
+	}
+}
+
+// encoders pools request/reply encoders: one encode per message on the hot
+// path should not cost an allocation.
+var encoders = sync.Pool{New: func() any { return wire.NewEncoder(256) }}
+
+// Stats implements transport.Transport.
+func (n *Net) Stats() transport.Stats {
+	return transport.Stats{
+		Sent:      n.sent.Load(),
+		Delivered: n.delivered.Load(),
+		DedupHits: n.dedupHits.Load(),
+	}
+}
+
+// WireStats returns the socket-level counters.
+func (n *Net) WireStats() WireStats {
+	return WireStats{
+		BytesIn:   n.bytesIn.Load(),
+		BytesOut:  n.bytesOut.Load(),
+		Dials:     n.dials.Load(),
+		DialFails: n.dialFails.Load(),
+		ConnsOpen: n.connsOpen.Load(),
+	}
+}
+
+// DedupEntries returns the cached at-most-once calls across all bound
+// endpoints (the quantity the retirement bound keeps flat).
+func (n *Net) DedupEntries() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	total := 0
+	for _, ep := range n.eps {
+		if tbl := ep.dedup.Load(); tbl != nil {
+			total += tbl.Len()
+		}
+	}
+	return total
+}
+
+// Close shuts the fabric down gracefully: stop accepting, let in-flight
+// handlers finish and their replies flush, then close every connection.
+// Sends issued after Close fail with ErrUnreachable.
+func (n *Net) Close() error {
+	n.flightMu.Lock()
+	already := !n.closed.CompareAndSwap(false, true)
+	n.flightMu.Unlock()
+	if already {
+		return nil
+	}
+	close(n.closeCh)
+	err := n.ln.Close()
+	// Drain: handlers that already accepted a request run to completion and
+	// write their replies, and Sends in progress consume those replies (or
+	// hit their own deadlines), before the conns go away.
+	n.inflight.Wait()
+	n.outcalls.Wait()
+	n.poolMu.Lock()
+	pools := make([]*pool, 0, len(n.pools))
+	for _, p := range n.pools {
+		pools = append(pools, p)
+	}
+	accepted := n.accepted
+	n.accepted = nil
+	n.poolMu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+	for _, c := range accepted {
+		c.die()
+	}
+	n.loops.Wait()
+	return err
+}

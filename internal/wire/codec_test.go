@@ -1,0 +1,412 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// roundTripEnvelopes pushes body through a request envelope and reply
+// through a reply envelope — encode, frame, read frame, decode — and
+// requires the decoded values to match exactly. Shared with the fuzzers.
+func roundTripEnvelopes(t *testing.T, kind string, mux uint64, body, reply any) {
+	t.Helper()
+	c, ok := ByKind(kind)
+	if !ok {
+		t.Fatalf("kind %q not registered", kind)
+	}
+	req := transport.Request{
+		ID:   mux ^ 0x9e3779b9,
+		From: "t:src",
+		To:   "c:dst#1",
+		Kind: kind,
+		Body: body,
+	}
+
+	enc := NewEncoder(64)
+	if err := EncodeRequest(enc, mux, req); err != nil {
+		t.Fatalf("EncodeRequest(%s): %v", kind, err)
+	}
+	framed, err := AppendFrame(nil, enc.Bytes())
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(framed)), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	got, err := DecodeFrame(payload)
+	if err != nil {
+		t.Fatalf("DecodeFrame(request %s): %v", kind, err)
+	}
+	greq, ok := got.(*Request)
+	if !ok {
+		t.Fatalf("decoded %T, want *Request", got)
+	}
+	if greq.Mux != mux {
+		t.Fatalf("mux %d, want %d", greq.Mux, mux)
+	}
+	if !reflect.DeepEqual(greq.Req, req) {
+		t.Fatalf("request round trip:\n got %#v\nwant %#v", greq.Req, req)
+	}
+
+	enc.Reset()
+	if err := EncodeReply(enc, mux, c.Code, ReplyOK, reply, ""); err != nil {
+		t.Fatalf("EncodeReply(%s): %v", kind, err)
+	}
+	got, err = DecodeFrame(enc.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeFrame(reply %s): %v", kind, err)
+	}
+	grep, ok := got.(*Reply)
+	if !ok {
+		t.Fatalf("decoded %T, want *Reply", got)
+	}
+	if grep.Mux != mux || grep.Status != ReplyOK {
+		t.Fatalf("reply envelope {mux %d status %d}, want {%d OK}", grep.Mux, grep.Status, mux)
+	}
+	if !reflect.DeepEqual(grep.Body, reply) {
+		t.Fatalf("reply round trip:\n got %#v\nwant %#v", grep.Body, reply)
+	}
+}
+
+// kindCases is one valid (body, reply) pair per registered kind; the
+// round-trip, truncation, and encode-rejection tests all iterate it so a
+// new kind is covered by adding one entry.
+var kindCases = []struct {
+	kind  string
+	body  any
+	reply any
+}{
+	{KindArrive, Arrive{Wire: -3, Token: "t:12#4", Seq: 1 << 40}, ArriveRes{Status: StatusQueued, Out: 7}},
+	{KindGroupArrive,
+		GroupArrive{Token: "t:9", Wires: []int{0, 5, -1}, Seqs: []uint64{3, 4, 1 << 60}},
+		GroupArriveRes{Status: StatusProcessed, Outs: []int{2, 0, 9}}},
+	{KindFreeze, nil, FreezeRes{Total: 99, Processed: []uint64{0, 1, 1 << 33}}},
+	{KindTotal, nil, uint64(1<<64 - 1)},
+	{KindKill, nil, int(-17)},
+	{KindResume, Resume{Path: "0110", Wire: 3, Seq: 8}, true},
+	{KindCPF, uint64(0xdead), uint64(0xbeef)},
+	{KindProbe, uint64(41), uint64(42)},
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{KindArrive, KindGroupArrive, KindFreeze, KindTotal,
+		KindKill, KindResume, KindCPF, KindProbe}
+	if got := Kinds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Kinds() = %v, want %v", got, want)
+	}
+	for _, kind := range want {
+		c, ok := ByKind(kind)
+		if !ok {
+			t.Fatalf("ByKind(%q) missing", kind)
+		}
+		c2, ok := ByCode(c.Code)
+		if !ok || c2 != c {
+			t.Fatalf("ByCode(%d) = %v, want codec for %q", c.Code, c2, kind)
+		}
+	}
+	if _, ok := ByKind("nonesuch"); ok {
+		t.Fatal("ByKind accepted an unregistered kind")
+	}
+	if _, ok := ByCode(0); ok {
+		t.Fatal("ByCode accepted code 0")
+	}
+	if _, ok := ByCode(200); ok {
+		t.Fatal("ByCode accepted code 200")
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for i, tc := range kindCases {
+		roundTripEnvelopes(t, tc.kind, uint64(1000+i), tc.body, tc.reply)
+	}
+	// Empty group and empty freeze snapshot: zero-length slices decode as
+	// nil, so nil is the canonical empty form.
+	roundTripEnvelopes(t, KindGroupArrive, 1, GroupArrive{Token: "t:0"}, GroupArriveRes{Status: StatusDead})
+	roundTripEnvelopes(t, KindFreeze, 2, nil, FreezeRes{Total: 0})
+}
+
+func TestEncodeRejectsWrongBody(t *testing.T) {
+	type alien struct{ X int }
+	for _, tc := range kindCases {
+		c, _ := ByKind(tc.kind)
+		e := NewEncoder(16)
+		if err := c.EncodeReq(e, alien{}); err == nil {
+			t.Errorf("%s: EncodeReq accepted alien body", tc.kind)
+		}
+		if err := c.EncodeRes(e, alien{}); err == nil {
+			t.Errorf("%s: EncodeRes accepted alien reply", tc.kind)
+		}
+		if tc.body == nil {
+			// No-body kinds must also reject a spurious body.
+			if err := c.EncodeReq(e, 7); err == nil {
+				t.Errorf("%s: EncodeReq accepted spurious body", tc.kind)
+			}
+		}
+	}
+	e := NewEncoder(16)
+	if err := EncodeRequest(e, 1, transport.Request{Kind: "nonesuch"}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("EncodeRequest(unknown kind) = %v, want ErrUnknownKind", err)
+	}
+	if err := EncodeReply(e, 1, 200, ReplyOK, nil, ""); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("EncodeReply(unknown code) = %v, want ErrUnknownKind", err)
+	}
+	gc, _ := ByKind(KindGroupArrive)
+	if err := gc.EncodeReq(e, GroupArrive{Wires: []int{1}, Seqs: nil}); err == nil {
+		t.Fatal("EncodeReq accepted group with mismatched wires/seqs")
+	}
+}
+
+// typedDecodeErr reports whether err wraps one of the codec's typed decode
+// errors — the contract is that DecodeFrame fails only through these.
+func typedDecodeErr(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, ErrUnknownKind) || errors.Is(err, ErrTooLarge)
+}
+
+func TestTruncatedFramesAreTyped(t *testing.T) {
+	for _, tc := range kindCases {
+		c, _ := ByKind(tc.kind)
+		enc := NewEncoder(64)
+		if err := EncodeRequest(enc, 5, transport.Request{
+			ID: 6, From: "t:a", To: "c:b", Kind: tc.kind, Body: tc.body,
+		}); err != nil {
+			t.Fatalf("%s: encode request: %v", tc.kind, err)
+		}
+		full := append([]byte(nil), enc.Bytes()...)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := DecodeFrame(full[:cut]); !typedDecodeErr(err) {
+				t.Fatalf("%s: request prefix %d/%d decoded with err=%v, want typed error",
+					tc.kind, cut, len(full), err)
+			}
+		}
+
+		enc.Reset()
+		if err := EncodeReply(enc, 5, c.Code, ReplyOK, tc.reply, ""); err != nil {
+			t.Fatalf("%s: encode reply: %v", tc.kind, err)
+		}
+		full = append([]byte(nil), enc.Bytes()...)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := DecodeFrame(full[:cut]); !typedDecodeErr(err) {
+				t.Fatalf("%s: reply prefix %d/%d decoded with err=%v, want typed error",
+					tc.kind, cut, len(full), err)
+			}
+		}
+	}
+}
+
+func TestCorruptFramesAreTyped(t *testing.T) {
+	// Each case builds a frame payload by hand and names the typed error it
+	// must fail with.
+	overlong := append(bytes.Repeat([]byte{0x80}, 10), 0x01) // > MaxVarintLen64
+	cases := []struct {
+		name    string
+		payload []byte
+		want    error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad frame tag", []byte{9}, ErrCorrupt},
+		{"overlong mux varint", append([]byte{frameRequest}, overlong...), ErrCorrupt},
+		{"bad reply status", func() []byte {
+			e := NewEncoder(8)
+			e.Byte(frameReply)
+			e.Uvarint(1)
+			e.Byte(9) // not a ReplyStatus
+			return e.Bytes()
+		}(), ErrCorrupt},
+		{"unknown request kind code", func() []byte {
+			e := NewEncoder(16)
+			e.Byte(frameRequest)
+			e.Uvarint(1)
+			e.Uvarint(2)
+			e.String("t:a")
+			e.String("c:b")
+			e.Byte(99)
+			return e.Bytes()
+		}(), ErrUnknownKind},
+		{"unknown reply kind code", func() []byte {
+			e := NewEncoder(8)
+			e.Byte(frameReply)
+			e.Uvarint(1)
+			e.Byte(byte(ReplyOK))
+			e.Byte(99)
+			return e.Bytes()
+		}(), ErrUnknownKind},
+		{"arrive status zero", func() []byte {
+			e := NewEncoder(8)
+			e.Byte(frameReply)
+			e.Uvarint(1)
+			e.Byte(byte(ReplyOK))
+			e.Byte(1) // KindArrive code
+			e.Byte(0) // status below StatusProcessed
+			e.Int(0)
+			return e.Bytes()
+		}(), ErrCorrupt},
+		{"string over MaxString", func() []byte {
+			e := NewEncoder(8)
+			e.Byte(frameRequest)
+			e.Uvarint(1)
+			e.Uvarint(2)
+			e.Uvarint(MaxString + 1) // From length prefix
+			return e.Bytes()
+		}(), ErrCorrupt},
+		{"slice over MaxSlice", func() []byte {
+			e := NewEncoder(32)
+			e.Byte(frameReply)
+			e.Uvarint(1)
+			e.Byte(byte(ReplyOK))
+			e.Byte(3) // KindFreeze code
+			e.Uvarint(7)
+			e.Uvarint(MaxSlice + 1) // Processed count
+			return e.Bytes()
+		}(), ErrCorrupt},
+		{"group wires/seqs mismatch", func() []byte {
+			e := NewEncoder(32)
+			e.Byte(frameRequest)
+			e.Uvarint(1)
+			e.Uvarint(2)
+			e.String("t:a")
+			e.String("c:b")
+			e.Byte(2) // KindGroupArrive code
+			e.String("t:a")
+			e.Ints([]int{1, 2})
+			e.Uint64s([]uint64{5})
+			return e.Bytes()
+		}(), ErrCorrupt},
+		{"bool byte 2 in resume reply", func() []byte {
+			e := NewEncoder(8)
+			e.Byte(frameReply)
+			e.Uvarint(1)
+			e.Byte(byte(ReplyOK))
+			e.Byte(6) // KindResume code
+			e.Byte(2)
+			return e.Bytes()
+		}(), ErrCorrupt},
+		{"trailing garbage", func() []byte {
+			e := NewEncoder(16)
+			if err := EncodeReply(e, 1, 4, ReplyOK, uint64(7), ""); err != nil {
+				panic(err)
+			}
+			e.Byte(0xff)
+			return e.Bytes()
+		}(), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeFrame(tc.payload); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeFrame = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestErrorReplyEnvelope(t *testing.T) {
+	for _, status := range []ReplyStatus{ReplyAppError, ReplyUnreachable, ReplyBadRequest} {
+		e := NewEncoder(32)
+		if err := EncodeReply(e, 7, 0, status, nil, "it broke"); err != nil {
+			t.Fatalf("EncodeReply(status %d): %v", status, err)
+		}
+		got, err := DecodeFrame(e.Bytes())
+		if err != nil {
+			t.Fatalf("DecodeFrame(status %d): %v", status, err)
+		}
+		rep := got.(*Reply)
+		if rep.Status != status || rep.ErrText != "it broke" || rep.Body != nil {
+			t.Fatalf("status %d round trip: %#v", status, rep)
+		}
+	}
+	// Oversized error text is truncated to MaxString, not refused: an error
+	// reply must always be deliverable.
+	e := NewEncoder(2 * MaxString)
+	if err := EncodeReply(e, 7, 0, ReplyAppError, nil, strings.Repeat("x", MaxString+100)); err != nil {
+		t.Fatalf("EncodeReply(long text): %v", err)
+	}
+	got, err := DecodeFrame(e.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeFrame(long text): %v", err)
+	}
+	if n := len(got.(*Reply).ErrText); n != MaxString {
+		t.Fatalf("error text length %d, want %d", n, MaxString)
+	}
+}
+
+func TestFrameIO(t *testing.T) {
+	// Several frames back to back on one stream, including an empty payload.
+	payloads := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte{0xab}, 3000)}
+	var stream []byte
+	var err error
+	for _, p := range payloads {
+		if stream, err = AppendFrame(stream, p); err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var buf []byte
+	for i, want := range payloads {
+		buf, err = ReadFrame(br, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame #%d: %v", i, err)
+		}
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("frame #%d: got %d bytes, want %d", i, len(buf), len(want))
+		}
+	}
+	if _, err := ReadFrame(br, buf); err != io.EOF {
+		t.Fatalf("ReadFrame at clean end = %v, want io.EOF", err)
+	}
+
+	if _, err := AppendFrame(nil, make([]byte, MaxFrame+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("AppendFrame(oversize) = %v, want ErrTooLarge", err)
+	}
+	huge := binaryAppendUvarint(nil, MaxFrame+1)
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge)), nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("ReadFrame(oversize prefix) = %v, want ErrTooLarge", err)
+	}
+
+	// A stream cut mid-payload is an unexpected EOF, never a short read.
+	framed, _ := AppendFrame(nil, []byte("truncate me"))
+	for cut := 1; cut < len(framed); cut++ {
+		_, err := ReadFrame(bufio.NewReader(bytes.NewReader(framed[:cut])), nil)
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("ReadFrame(cut %d) = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func binaryAppendUvarint(dst []byte, v uint64) []byte {
+	e := NewEncoder(10)
+	e.Uvarint(v)
+	return append(dst, e.Bytes()...)
+}
+
+func TestDecoderPrimitives(t *testing.T) {
+	e := NewEncoder(64)
+	e.Varint(-1 << 40)
+	e.Int(-5)
+	e.Bool(true)
+	e.Bool(false)
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Varint(); err != nil || v != -1<<40 {
+		t.Fatalf("Varint = %d, %v", v, err)
+	}
+	if v, err := d.Int(); err != nil || v != -5 {
+		t.Fatalf("Int = %d, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if _, err := d.Byte(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Byte past end = %v, want ErrTruncated", err)
+	}
+}

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/transport"
+)
+
+// Frame payload discriminators: the first byte of every frame says whether
+// it carries a request or a reply envelope.
+const (
+	frameRequest byte = 1
+	frameReply   byte = 2
+)
+
+// ReplyStatus classifies a reply envelope.
+type ReplyStatus byte
+
+const (
+	// ReplyOK: the handler ran; the envelope carries its typed reply body.
+	ReplyOK ReplyStatus = 0
+	// ReplyAppError: the handler ran and returned an application error;
+	// the envelope carries its text. Application errors are not retried —
+	// the request WAS delivered.
+	ReplyAppError ReplyStatus = 1
+	// ReplyUnreachable: no endpoint is bound at the destination address on
+	// the receiving fabric. The sender surfaces transport.ErrUnreachable.
+	ReplyUnreachable ReplyStatus = 2
+	// ReplyBadRequest: the receiver could not decode or dispatch the
+	// request (unknown kind, codec mismatch). Not retried.
+	ReplyBadRequest ReplyStatus = 3
+)
+
+// Request is the decoded form of a request envelope: the transport request
+// plus the connection-multiplexing ID that pairs it with its reply frame.
+// Mux is per-attempt (a retry of the same logical call gets a fresh Mux but
+// reuses Req.ID, which is what receiver-side dedup keys on).
+type Request struct {
+	Mux uint64
+	Req transport.Request
+}
+
+// Reply is the decoded form of a reply envelope.
+type Reply struct {
+	Mux     uint64
+	Status  ReplyStatus
+	Body    any    // set when Status == ReplyOK
+	ErrText string // set otherwise
+}
+
+// EncodeRequest appends a request envelope for req to e. The body is
+// encoded by req.Kind's registered codec; an unregistered kind or a body
+// of the wrong type is an encode error (nothing is appended reliably after
+// an error — reset the encoder).
+func EncodeRequest(e *Encoder, mux uint64, req transport.Request) error {
+	c, ok := ByKind(req.Kind)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownKind, req.Kind)
+	}
+	e.Byte(frameRequest)
+	e.Uvarint(mux)
+	e.Uvarint(req.ID)
+	e.String(string(req.From))
+	e.String(string(req.To))
+	e.Byte(c.Code)
+	return c.EncodeReq(e, req.Body)
+}
+
+// EncodeReply appends a reply envelope to e. kindCode selects the reply
+// body codec for ReplyOK; for error statuses the body is ignored and
+// errText is carried instead.
+func EncodeReply(e *Encoder, mux uint64, kindCode byte, status ReplyStatus, body any, errText string) error {
+	e.Byte(frameReply)
+	e.Uvarint(mux)
+	e.Byte(byte(status))
+	if status != ReplyOK {
+		if len(errText) > MaxString {
+			errText = errText[:MaxString]
+		}
+		e.String(errText)
+		return nil
+	}
+	c, ok := ByCode(kindCode)
+	if !ok {
+		return fmt.Errorf("%w: code %d", ErrUnknownKind, kindCode)
+	}
+	e.Byte(kindCode)
+	return c.EncodeRes(e, body)
+}
+
+// DecodeFrame decodes one frame payload into either a *Request or a
+// *Reply. The whole payload must be consumed: trailing bytes are corrupt.
+func DecodeFrame(payload []byte) (any, error) {
+	d := NewDecoder(payload)
+	tag, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case frameRequest:
+		req, err := decodeRequest(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		return req, nil
+	case frameReply:
+		rep, err := decodeReply(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.Finish(); err != nil {
+			return nil, err
+		}
+		return rep, nil
+	default:
+		return nil, fmt.Errorf("%w: frame tag %d", ErrCorrupt, tag)
+	}
+}
+
+func decodeRequest(d *Decoder) (*Request, error) {
+	var r Request
+	var err error
+	if r.Mux, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Req.ID, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	var from, to string
+	if from, err = d.String(); err != nil {
+		return nil, err
+	}
+	if to, err = d.String(); err != nil {
+		return nil, err
+	}
+	r.Req.From, r.Req.To = transport.Addr(from), transport.Addr(to)
+	code, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	c, ok := ByCode(code)
+	if !ok {
+		return nil, fmt.Errorf("%w: code %d", ErrUnknownKind, code)
+	}
+	r.Req.Kind = c.Kind
+	if r.Req.Body, err = c.DecodeReq(d); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+func decodeReply(d *Decoder) (*Reply, error) {
+	var r Reply
+	var err error
+	if r.Mux, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	st, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	r.Status = ReplyStatus(st)
+	switch r.Status {
+	case ReplyOK:
+		code, err := d.Byte()
+		if err != nil {
+			return nil, err
+		}
+		c, ok := ByCode(code)
+		if !ok {
+			return nil, fmt.Errorf("%w: code %d", ErrUnknownKind, code)
+		}
+		if r.Body, err = c.DecodeRes(d); err != nil {
+			return nil, err
+		}
+	case ReplyAppError, ReplyUnreachable, ReplyBadRequest:
+		if r.ErrText, err = d.String(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: reply status %d", ErrCorrupt, st)
+	}
+	return &r, nil
+}
+
+// AppendFrame appends a length-prefixed frame carrying payload to dst and
+// returns the extended slice. Frames above MaxFrame are refused.
+func AppendFrame(dst, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// ReadFrame reads one length-prefixed frame from br, reusing buf when it
+// is large enough, and returns the payload. io errors pass through
+// unwrapped (io.EOF at a frame boundary means a clean close); a length
+// prefix above MaxFrame is ErrTooLarge.
+func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,212 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// The per-kind fuzzers below all reduce to roundTripEnvelopes: build a
+// (body, reply) pair for the kind from the fuzzer's primitive arguments,
+// then require encode→frame→decode to reproduce both exactly. Seed inputs
+// live in F.Add calls and in testdata/fuzz/<FuzzName>/, which `go test`
+// always executes, so the corpus doubles as a regression suite.
+
+// clampToken bounds fuzzed strings to what the codec can carry: encoders
+// do not reject oversized strings (the deliverability check lives in the
+// decoder), so an over-MaxString input would fail decode by design.
+func clampToken(s string) string {
+	if len(s) > MaxString {
+		s = s[:MaxString]
+	}
+	return s
+}
+
+func FuzzArrive(f *testing.F) {
+	f.Add(0, "t:1", uint64(1), byte(1), 0)
+	f.Add(-3, "t:12#4", uint64(1)<<40, byte(2), 7)
+	f.Add(1<<20, "", uint64(0), byte(3), -1)
+	f.Fuzz(func(t *testing.T, w int, token string, seq uint64, status byte, out int) {
+		body := Arrive{Wire: w, Token: clampToken(token), Seq: seq}
+		reply := ArriveRes{Status: StatusProcessed + Status(status)%3, Out: out}
+		roundTripEnvelopes(t, KindArrive, seq^uint64(status), body, reply)
+	})
+}
+
+func FuzzGroupArrive(f *testing.F) {
+	f.Add("t:1", []byte{1, 2, 3}, byte(0), []byte{9, 8, 7})
+	f.Add("t:44#9", []byte{}, byte(1), []byte{})
+	f.Add("", []byte{255, 0, 128, 64, 17}, byte(2), []byte{0})
+	f.Fuzz(func(t *testing.T, token string, raw []byte, status byte, rawOut []byte) {
+		// Derive the parallel wires/seqs slices from one byte string so the
+		// decode invariant len(Wires) == len(Seqs) holds by construction.
+		var wires []int
+		var seqs []uint64
+		for i, b := range raw {
+			wires = append(wires, int(b)-128)
+			seqs = append(seqs, uint64(b)*131+uint64(i))
+		}
+		var outs []int
+		for _, b := range rawOut {
+			outs = append(outs, int(b))
+		}
+		body := GroupArrive{Token: clampToken(token), Wires: wires, Seqs: seqs}
+		reply := GroupArriveRes{Status: StatusProcessed + Status(status)%3, Outs: outs}
+		roundTripEnvelopes(t, KindGroupArrive, uint64(len(raw)), body, reply)
+	})
+}
+
+func FuzzFreeze(f *testing.F) {
+	f.Add(uint64(0), []byte{})
+	f.Add(uint64(99), []byte{1, 2, 3, 4})
+	f.Add(uint64(1)<<63, []byte{255, 255})
+	f.Fuzz(func(t *testing.T, total uint64, raw []byte) {
+		var processed []uint64
+		for i, b := range raw {
+			processed = append(processed, uint64(b)<<(i%8))
+		}
+		roundTripEnvelopes(t, KindFreeze, total, nil, FreezeRes{Total: total, Processed: processed})
+	})
+}
+
+func FuzzTotal(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, v uint64) {
+		roundTripEnvelopes(t, KindTotal, v, nil, v)
+	})
+}
+
+func FuzzKill(f *testing.F) {
+	f.Add(0)
+	f.Add(-17)
+	f.Add(1 << 30)
+	f.Fuzz(func(t *testing.T, n int) {
+		roundTripEnvelopes(t, KindKill, uint64(uint(n)), nil, n)
+	})
+}
+
+func FuzzResume(f *testing.F) {
+	f.Add("", 0, uint64(0), false)
+	f.Add("0110", 3, uint64(8), true)
+	f.Add("1", -2, uint64(1)<<50, true)
+	f.Fuzz(func(t *testing.T, path string, w int, seq uint64, ok bool) {
+		body := Resume{Path: clampToken(path), Wire: w, Seq: seq}
+		roundTripEnvelopes(t, KindResume, seq, body, ok)
+	})
+}
+
+func FuzzCPF(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0xdead), uint64(0xbeef))
+	f.Fuzz(func(t *testing.T, key, id uint64) {
+		roundTripEnvelopes(t, KindCPF, key, key, id)
+	})
+}
+
+func FuzzProbe(f *testing.F) {
+	f.Add(uint64(41), uint64(42))
+	f.Add(uint64(1)<<63, uint64(7))
+	f.Fuzz(func(t *testing.T, k, id uint64) {
+		roundTripEnvelopes(t, KindProbe, k, k, id)
+	})
+}
+
+// FuzzDecodeFrame feeds DecodeFrame arbitrary bytes. The decoding-is-total
+// contract: every input either fails with a typed error or decodes to a
+// value that re-encodes and decodes back to itself. No input may panic.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with one well-formed frame of each shape so the fuzzer starts
+	// from valid encodings and mutates toward near-valid corruption.
+	for _, tc := range kindCases {
+		c, _ := ByKind(tc.kind)
+		e := NewEncoder(64)
+		if err := EncodeRequest(e, 3, transport.Request{
+			ID: 4, From: "t:a", To: "c:b", Kind: tc.kind, Body: tc.body,
+		}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), e.Bytes()...))
+		e.Reset()
+		if err := EncodeReply(e, 3, c.Code, ReplyOK, tc.reply, ""); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), e.Bytes()...))
+	}
+	e := NewEncoder(32)
+	if err := EncodeReply(e, 9, 0, ReplyAppError, nil, "boom"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), e.Bytes()...))
+	f.Add([]byte{})
+	f.Add([]byte{frameRequest})
+	f.Add([]byte{frameReply, 0, 9})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeFrame(data)
+		if err != nil {
+			if !typedDecodeErr(err) {
+				t.Fatalf("DecodeFrame error %v is not a typed decode error", err)
+			}
+			return
+		}
+		switch m := v.(type) {
+		case *Request:
+			e := NewEncoder(len(data))
+			if err := EncodeRequest(e, m.Mux, m.Req); err != nil {
+				t.Fatalf("re-encode of decoded request failed: %v", err)
+			}
+			v2, err := DecodeFrame(e.Bytes())
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded request failed: %v", err)
+			}
+			if !reflect.DeepEqual(v2, m) {
+				t.Fatalf("request round trip drift:\n got %#v\nwant %#v", v2, m)
+			}
+		case *Reply:
+			if !reEncodableReply(t, m, len(data)) {
+				t.Fatalf("no registered codec re-encodes decoded reply %#v", m)
+			}
+		default:
+			t.Fatalf("DecodeFrame returned %T", v)
+		}
+	})
+}
+
+// reEncodableReply re-encodes a decoded reply and checks the second decode
+// matches. A reply envelope does not record which kind produced it, and
+// several kinds share a reply shape (the bare-uint64 kinds), so success
+// under any registered code whose second decode matches is the property.
+func reEncodableReply(t *testing.T, m *Reply, sizeHint int) bool {
+	t.Helper()
+	if m.Status != ReplyOK {
+		e := NewEncoder(sizeHint)
+		if err := EncodeReply(e, m.Mux, 0, m.Status, nil, m.ErrText); err != nil {
+			t.Fatalf("re-encode of error reply failed: %v", err)
+		}
+		v2, err := DecodeFrame(e.Bytes())
+		if err != nil {
+			t.Fatalf("re-decode of error reply failed: %v", err)
+		}
+		return reflect.DeepEqual(v2, m)
+	}
+	for code := 0; code < 256; code++ {
+		c, ok := ByCode(byte(code))
+		if !ok {
+			continue
+		}
+		e := NewEncoder(sizeHint)
+		if err := EncodeReply(e, m.Mux, c.Code, ReplyOK, m.Body, ""); err != nil {
+			continue // this kind does not carry this body shape
+		}
+		v2, err := DecodeFrame(e.Bytes())
+		if err != nil {
+			continue
+		}
+		if reflect.DeepEqual(v2, m) {
+			return true
+		}
+	}
+	return false
+}

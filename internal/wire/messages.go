@@ -1,0 +1,399 @@
+package wire
+
+import "fmt"
+
+// Message kind strings. These are the transport.Request.Kind values the
+// protocol layers use; the registry maps each to a one-byte code and its
+// typed body/reply codecs. dist and chord reference these constants so the
+// string and the codec can never drift apart.
+const (
+	// KindArrive delivers one token to a component input wire.
+	// Body: Arrive. Reply: ArriveRes.
+	KindArrive = "arrive"
+	// KindGroupArrive delivers a whole token group to a component in one
+	// message: k tokens, each with its own input wire and sequence number,
+	// sharing one sender endpoint. This is the batched dist wire format:
+	// one RPC per component visit instead of one per token.
+	// Body: GroupArrive. Reply: GroupArriveRes.
+	KindGroupArrive = "agroup"
+	// KindFreeze tells a component to stop routing and snapshot state.
+	// Body: none. Reply: FreezeRes.
+	KindFreeze = "freeze"
+	// KindTotal polls a component's processed-token total.
+	// Body: none. Reply: uint64.
+	KindTotal = "total"
+	// KindKill tells a frozen component to die and release stored tokens.
+	// Body: none. Reply: int (number of released tokens).
+	KindKill = "kill"
+	// KindResume tells a stored token where to re-enter the network.
+	// Body: Resume. Reply: bool.
+	KindResume = "resume"
+	// KindCPF is Chord's closest-preceding-finger query.
+	// Body: uint64 (key). Reply: uint64 (node ID).
+	KindCPF = "cpf"
+	// KindProbe is Chord's successor liveness probe.
+	// Body: uint64 (probed ID). Reply: uint64 (responder ID).
+	KindProbe = "probe"
+)
+
+// Status is the outcome of an arrive (or group arrive) RPC.
+type Status uint8
+
+const (
+	// StatusProcessed: the token(s) were routed; the reply carries output
+	// wires.
+	StatusProcessed Status = 1
+	// StatusQueued: the component is frozen; the token(s) are stored and
+	// will be released by resume messages.
+	StatusQueued Status = 2
+	// StatusDead: the component incarnation was replaced; re-resolve
+	// against the current cut and retry.
+	StatusDead Status = 3
+)
+
+func decodeStatus(d *Decoder) (Status, error) {
+	b, err := d.Byte()
+	if err != nil {
+		return 0, err
+	}
+	s := Status(b)
+	if s < StatusProcessed || s > StatusDead {
+		return 0, fmt.Errorf("%w: arrive status %d", ErrCorrupt, b)
+	}
+	return s, nil
+}
+
+// Arrive asks a component to accept one token on an input wire. Token is
+// the sender's endpoint address (where a resume goes if the component is
+// frozen); Seq identifies which token currently owns that endpoint.
+type Arrive struct {
+	Wire  int
+	Token string
+	Seq   uint64
+}
+
+// ArriveRes is the reply to an Arrive.
+type ArriveRes struct {
+	Status Status
+	Out    int
+}
+
+// GroupArrive asks a component to accept a whole token group: token i of
+// the group arrives on Wires[i] with sequence number Seqs[i]. All tokens
+// share the sender endpoint Token. len(Wires) == len(Seqs) is a decode
+// invariant.
+type GroupArrive struct {
+	Token string
+	Wires []int
+	Seqs  []uint64
+}
+
+// GroupArriveRes is the reply to a GroupArrive. The component serves the
+// whole group under one state lock, so the outcome is uniform: processed
+// (Outs[i] is token i's output wire), queued (every token stored; resumes
+// follow individually), or dead (re-resolve the whole group).
+type GroupArriveRes struct {
+	Status Status
+	Outs   []int
+}
+
+// FreezeRes snapshots a component's state at freeze time.
+type FreezeRes struct {
+	Total     uint64
+	Processed []uint64
+}
+
+// Resume tells a stored token where to re-enter the network.
+type Resume struct {
+	Path string
+	Wire int
+	Seq  uint64
+}
+
+// Codec is one registered message kind: its wire code, its kind string,
+// and typed encode/decode for the request body and the reply body. Encode
+// functions reject bodies of the wrong dynamic type with an error rather
+// than panicking, so a mis-wired caller fails loudly at the boundary.
+type Codec struct {
+	Code byte
+	Kind string
+
+	EncodeReq func(e *Encoder, body any) error
+	DecodeReq func(d *Decoder) (any, error)
+	EncodeRes func(e *Encoder, body any) error
+	DecodeRes func(d *Decoder) (any, error)
+}
+
+func badBody(kind string, body any) error {
+	return fmt.Errorf("wire: %s: body %T not encodable", kind, body)
+}
+
+// encNone / decNone serve the control kinds whose request carries no body.
+func encNone(kind string) func(*Encoder, any) error {
+	return func(_ *Encoder, body any) error {
+		if body != nil {
+			return badBody(kind, body)
+		}
+		return nil
+	}
+}
+
+func decNone(_ *Decoder) (any, error) { return nil, nil }
+
+// encUint64 / decUint64 serve kinds whose payload is a bare uint64
+// (chord's node IDs, the total poll reply).
+func encUint64(kind string) func(*Encoder, any) error {
+	return func(e *Encoder, body any) error {
+		v, ok := body.(uint64)
+		if !ok {
+			return badBody(kind, body)
+		}
+		e.Uvarint(v)
+		return nil
+	}
+}
+
+func decUint64(d *Decoder) (any, error) { return d.Uvarint() }
+
+// registry holds every message kind, indexed by code and by kind string.
+// Codes are wire format: they never change meaning, only grow.
+var (
+	byCode [256]*Codec
+	byKind = map[string]*Codec{}
+)
+
+func register(c *Codec) *Codec {
+	if byCode[c.Code] != nil || byKind[c.Kind] != nil {
+		panic(fmt.Sprintf("wire: duplicate registration for code %d kind %q", c.Code, c.Kind))
+	}
+	byCode[c.Code] = c
+	byKind[c.Kind] = c
+	return c
+}
+
+// ByKind returns the codec for a kind string.
+func ByKind(kind string) (*Codec, bool) {
+	c, ok := byKind[kind]
+	return c, ok
+}
+
+// ByCode returns the codec for a wire code.
+func ByCode(code byte) (*Codec, bool) {
+	c := byCode[code]
+	return c, c != nil
+}
+
+// Kinds returns every registered kind string, in wire-code order.
+func Kinds() []string {
+	var ks []string
+	for _, c := range byCode {
+		if c != nil {
+			ks = append(ks, c.Kind)
+		}
+	}
+	return ks
+}
+
+var _ = register(&Codec{
+	Code: 1, Kind: KindArrive,
+	EncodeReq: func(e *Encoder, body any) error {
+		a, ok := body.(Arrive)
+		if !ok {
+			return badBody(KindArrive, body)
+		}
+		e.Int(a.Wire)
+		e.String(a.Token)
+		e.Uvarint(a.Seq)
+		return nil
+	},
+	DecodeReq: func(d *Decoder) (any, error) {
+		var a Arrive
+		var err error
+		if a.Wire, err = d.Int(); err != nil {
+			return nil, err
+		}
+		if a.Token, err = d.String(); err != nil {
+			return nil, err
+		}
+		if a.Seq, err = d.Uvarint(); err != nil {
+			return nil, err
+		}
+		return a, nil
+	},
+	EncodeRes: func(e *Encoder, body any) error {
+		r, ok := body.(ArriveRes)
+		if !ok {
+			return badBody(KindArrive, body)
+		}
+		e.Byte(byte(r.Status))
+		e.Int(r.Out)
+		return nil
+	},
+	DecodeRes: func(d *Decoder) (any, error) {
+		var r ArriveRes
+		var err error
+		if r.Status, err = decodeStatus(d); err != nil {
+			return nil, err
+		}
+		if r.Out, err = d.Int(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	},
+})
+
+var _ = register(&Codec{
+	Code: 2, Kind: KindGroupArrive,
+	EncodeReq: func(e *Encoder, body any) error {
+		g, ok := body.(GroupArrive)
+		if !ok {
+			return badBody(KindGroupArrive, body)
+		}
+		if len(g.Wires) != len(g.Seqs) {
+			return fmt.Errorf("wire: %s: %d wires, %d seqs", KindGroupArrive, len(g.Wires), len(g.Seqs))
+		}
+		e.String(g.Token)
+		e.Ints(g.Wires)
+		e.Uint64s(g.Seqs)
+		return nil
+	},
+	DecodeReq: func(d *Decoder) (any, error) {
+		var g GroupArrive
+		var err error
+		if g.Token, err = d.String(); err != nil {
+			return nil, err
+		}
+		if g.Wires, err = d.Ints(); err != nil {
+			return nil, err
+		}
+		if g.Seqs, err = d.Uint64s(); err != nil {
+			return nil, err
+		}
+		if len(g.Wires) != len(g.Seqs) {
+			return nil, fmt.Errorf("%w: group with %d wires, %d seqs", ErrCorrupt, len(g.Wires), len(g.Seqs))
+		}
+		return g, nil
+	},
+	EncodeRes: func(e *Encoder, body any) error {
+		r, ok := body.(GroupArriveRes)
+		if !ok {
+			return badBody(KindGroupArrive, body)
+		}
+		e.Byte(byte(r.Status))
+		e.Ints(r.Outs)
+		return nil
+	},
+	DecodeRes: func(d *Decoder) (any, error) {
+		var r GroupArriveRes
+		var err error
+		if r.Status, err = decodeStatus(d); err != nil {
+			return nil, err
+		}
+		if r.Outs, err = d.Ints(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	},
+})
+
+var _ = register(&Codec{
+	Code: 3, Kind: KindFreeze,
+	EncodeReq: encNone(KindFreeze),
+	DecodeReq: decNone,
+	EncodeRes: func(e *Encoder, body any) error {
+		f, ok := body.(FreezeRes)
+		if !ok {
+			return badBody(KindFreeze, body)
+		}
+		e.Uvarint(f.Total)
+		e.Uint64s(f.Processed)
+		return nil
+	},
+	DecodeRes: func(d *Decoder) (any, error) {
+		var f FreezeRes
+		var err error
+		if f.Total, err = d.Uvarint(); err != nil {
+			return nil, err
+		}
+		if f.Processed, err = d.Uint64s(); err != nil {
+			return nil, err
+		}
+		return f, nil
+	},
+})
+
+var _ = register(&Codec{
+	Code: 4, Kind: KindTotal,
+	EncodeReq: encNone(KindTotal),
+	DecodeReq: decNone,
+	EncodeRes: encUint64(KindTotal),
+	DecodeRes: decUint64,
+})
+
+var _ = register(&Codec{
+	Code: 5, Kind: KindKill,
+	EncodeReq: encNone(KindKill),
+	DecodeReq: decNone,
+	EncodeRes: func(e *Encoder, body any) error {
+		n, ok := body.(int)
+		if !ok {
+			return badBody(KindKill, body)
+		}
+		e.Int(n)
+		return nil
+	},
+	DecodeRes: func(d *Decoder) (any, error) { return d.Int() },
+})
+
+var _ = register(&Codec{
+	Code: 6, Kind: KindResume,
+	EncodeReq: func(e *Encoder, body any) error {
+		r, ok := body.(Resume)
+		if !ok {
+			return badBody(KindResume, body)
+		}
+		e.String(r.Path)
+		e.Int(r.Wire)
+		e.Uvarint(r.Seq)
+		return nil
+	},
+	DecodeReq: func(d *Decoder) (any, error) {
+		var r Resume
+		var err error
+		if r.Path, err = d.String(); err != nil {
+			return nil, err
+		}
+		if r.Wire, err = d.Int(); err != nil {
+			return nil, err
+		}
+		if r.Seq, err = d.Uvarint(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	},
+	EncodeRes: func(e *Encoder, body any) error {
+		b, ok := body.(bool)
+		if !ok {
+			return badBody(KindResume, body)
+		}
+		e.Bool(b)
+		return nil
+	},
+	DecodeRes: func(d *Decoder) (any, error) { return d.Bool() },
+})
+
+var _ = register(&Codec{
+	Code: 7, Kind: KindCPF,
+	EncodeReq: encUint64(KindCPF),
+	DecodeReq: decUint64,
+	EncodeRes: encUint64(KindCPF),
+	DecodeRes: decUint64,
+})
+
+var _ = register(&Codec{
+	Code: 8, Kind: KindProbe,
+	EncodeReq: encUint64(KindProbe),
+	DecodeReq: decUint64,
+	EncodeRes: encUint64(KindProbe),
+	DecodeRes: decUint64,
+})
