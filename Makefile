@@ -3,9 +3,9 @@ GO ?= go
 # get a second pass under the race detector.
 RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
 
-.PHONY: check fmt vet build test race bench benchsmoke perfsmoke bench-baseline
+.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke bench-baseline
 
-check: fmt vet build test race benchsmoke perfsmoke
+check: fmt vet build test race benchsmoke perfsmoke tracesmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -36,6 +36,15 @@ benchsmoke:
 # catches data races the correctness tests' schedules might miss.
 perfsmoke:
 	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec' -benchtime 1x -run '^$$' .
+
+# End-to-end trace export: a small sim writes sampled spans as Perfetto
+# trace-event JSON, and the validator re-parses the file and checks its
+# structural invariants. Catches exporter drift the unit tests can't (the
+# actual CLI path, on actual span data).
+tracesmoke:
+	@tmp="$$(mktemp /tmp/acn-trace-XXXXXX.json)"; \
+	$(GO) run ./cmd/acnsim -width 64 -nodes 16 -tokens 200 -trace 8 -tracefile "$$tmp" > /dev/null && \
+	$(GO) run ./cmd/acnbench -validatetrace "$$tmp" && rm -f "$$tmp"
 
 # Refresh the machine-readable benchmark baseline (BENCH_4.json keeps the
 # checked-in PR-4 pre/post numbers; this writes a fresh run to compare

@@ -33,6 +33,8 @@
 package acn
 
 import (
+	"io"
+
 	"repro/internal/balancer"
 	"repro/internal/baseline"
 	"repro/internal/bitonic"
@@ -82,8 +84,53 @@ func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
 type Tracer = obs.Tracer
 
 // Span is one traced token journey: every component visited, wire hop, DHT
-// lookup, retry and queue/drain wait, with offsets from injection.
+// lookup, retry and queue/drain wait, with offsets from injection. Sampled
+// spans carry real identity (trace, span and parent span IDs) so spans
+// opened on other endpoints stitch into one distributed trace.
 type Span = obs.Span
+
+// TraceContext is the wire-propagable identity of a sampled trace: carried
+// in every transport.Request and encoded in the wire envelope, it lets the
+// receiving fabric open server-side RPC spans stitched to the caller's
+// trace. The zero value means unsampled and costs two bytes on the wire.
+type TraceContext = obs.TraceContext
+
+// RPCObs observes the server side of RPC dispatch on a fabric: per-kind
+// latency histograms, child spans stitched to wire-propagated trace
+// contexts, a slow-RPC threshold log, and flight-recorder entries. Install
+// one with Cluster.InstrumentRPC (or a fabric's InstrumentRPC method).
+type RPCObs = obs.RPCObs
+
+// RPCObsConfig configures an RPCObs; all fields are optional.
+type RPCObsConfig = obs.RPCObsConfig
+
+// NewRPCObs creates a server-side RPC observer.
+func NewRPCObs(cfg RPCObsConfig) *RPCObs { return obs.NewRPCObs(cfg) }
+
+// FlightRecorder keeps a bounded ring of recent trace events per endpoint:
+// an always-on black box dumped on demand (or on /debug/acn/flight).
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder creates a flight recorder keeping the last perEndpoint
+// events for each endpoint (zero or negative means 64).
+func NewFlightRecorder(perEndpoint int) *FlightRecorder {
+	return obs.NewFlightRecorder(perEndpoint)
+}
+
+// WriteTraceEvents renders finished spans as Chrome/Perfetto trace-event
+// JSON, loadable in ui.perfetto.dev or chrome://tracing. The same export
+// is served on /debug/acn/trace by ObsRegistry.Handler and written by
+// `acnsim -tracefile`.
+func WriteTraceEvents(w io.Writer, spans []*Span) error {
+	return obs.WriteTraceEvents(w, spans)
+}
+
+// ValidateTraceEvents parses trace-event JSON (as written by
+// WriteTraceEvents) and checks its structural invariants, returning the
+// event count. It backs `acnbench -validatetrace` and `make tracesmoke`.
+func ValidateTraceEvents(r io.Reader) (int, error) {
+	return obs.ValidateTraceEvents(r)
+}
 
 // New creates an adaptive counting network of the given width; the whole
 // BITONIC[w] starts as one component on a single node.

@@ -401,6 +401,8 @@ func BenchmarkE27BatchedInjection(b *testing.B) { benchExperiment(b, "E27") }
 
 func BenchmarkE28WireTransport(b *testing.B) { benchExperiment(b, "E28") }
 
+func BenchmarkE29TraceBreakdown(b *testing.B) { benchExperiment(b, "E29") }
+
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency
 // percentiles across N are the observability layer's acceptance output.

@@ -32,4 +32,10 @@ go test -bench . -benchtime 1x -run '^$' ./...
 echo "== perf smoke (hot-path benchmarks under -race) =="
 go test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec' -benchtime 1x -run '^$' .
 
+echo "== trace smoke (Perfetto export through the CLI, then validate) =="
+tracetmp="$(mktemp /tmp/acn-trace-XXXXXX.json)"
+go run ./cmd/acnsim -width 64 -nodes 16 -tokens 200 -trace 8 -tracefile "$tracetmp" > /dev/null
+go run ./cmd/acnbench -validatetrace "$tracetmp"
+rm -f "$tracetmp"
+
 echo "OK"

@@ -1,4 +1,4 @@
-// Command acnbench runs the reproduction experiments (E1..E27, indexed in
+// Command acnbench runs the reproduction experiments (E1..E29, indexed in
 // DESIGN.md) and prints their tables. EXPERIMENTS.md is generated from its
 // output.
 //
@@ -11,12 +11,16 @@
 //	acnbench -http :8080     # also serve /metrics, /debug/vars, /debug/pprof
 //	acnbench -cpuprofile cpu.out -run E26   # write a pprof CPU profile
 //	acnbench -memprofile mem.out -run E20   # write a heap profile at exit
+//	acnbench -validatetrace out.json        # check a Perfetto trace export
 //	go test -bench . -benchmem | acnbench -json -label post > bench.json
 //
 // With -http, harness-level metrics (experiments completed, per-experiment
 // wall time) are served for the duration of the run, alongside the expvar
 // and pprof endpoints — attach a profiler to a long sweep by pointing it at
-// the printed address.
+// the printed address. Experiments that build a real TCP fabric (E28, E29)
+// instrument it into the same registry, so tcpnet byte counters and
+// pool-health gauges (tcpnet.pool.dialing, tcpnet.pool.cooldown,
+// tcpnet.conns.open) are live on /metrics and /debug/vars while they run.
 //
 // With -json, acnbench runs no experiments: it reads `go test -bench`
 // output on stdin and writes the repo's BENCH_*.json baseline format to
@@ -71,6 +75,7 @@ func run(args []string) error {
 		label    = fs.String("label", "", "run label for -json output (e.g. pre, post, a git revision)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		valTrace = fs.String("validatetrace", "", "validate a trace-event JSON file (as written by acnsim -tracefile or /debug/acn/trace) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +84,19 @@ func run(args []string) error {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		return nil
+	}
+	if *valTrace != "" {
+		f, err := os.Open(*valTrace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := obs.ValidateTraceEvents(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d trace events, valid\n", *valTrace, n)
 		return nil
 	}
 	if *jsonOut {
@@ -126,7 +144,7 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "acnbench: serving metrics on http://%s/metrics\n", bound)
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: *seed, Quick: *quick, Obs: reg}
 	ids := experiments.IDs()
 	if *runIDs != "" {
 		ids = ids[:0]

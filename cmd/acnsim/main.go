@@ -37,6 +37,7 @@ func run(args []string) error {
 		show    = fs.Bool("show", false, "draw the component tree after growth")
 		showObs = fs.Bool("obs", false, "collect and print the metrics registry (latency/hop histograms)")
 		trace   = fs.Int("trace", 0, "sample one token in N for span tracing (0 = off); prints example journeys")
+		traceFn = fs.String("tracefile", "", "write sampled spans as Chrome/Perfetto trace-event JSON to this file (implies -trace 64 if -trace is off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +47,16 @@ func run(args []string) error {
 	if *showObs {
 		reg = obs.NewRegistry()
 	}
-	net, err := core.New(core.Config{Width: *width, Seed: *seed, Obs: reg, TraceEvery: *trace})
+	if *traceFn != "" && *trace == 0 {
+		*trace = 64
+	}
+	// The trace file wants whole journeys, not just the last few: retain
+	// enough finished spans to cover a full phase of sampled tokens.
+	retain := 0
+	if *traceFn != "" {
+		retain = 4096
+	}
+	net, err := core.New(core.Config{Width: *width, Seed: *seed, Obs: reg, TraceEvery: *trace, TraceRetain: retain})
 	if err != nil {
 		return err
 	}
@@ -142,6 +152,38 @@ func run(args []string) error {
 		if err := tr.WriteSpans(os.Stdout, 3); err != nil {
 			return err
 		}
+		if *traceFn != "" {
+			if err := writeTraceFile(*traceFn, tr.Spans()); err != nil {
+				return err
+			}
+			fmt.Printf("\nwrote %d spans as trace-event JSON to %s (load in ui.perfetto.dev)\n", len(tr.Spans()), *traceFn)
+		}
+	}
+	return nil
+}
+
+// writeTraceFile renders the retained spans as Chrome/Perfetto trace-event
+// JSON and validates the result before handing the file over — a corrupt
+// export should fail the run, not the viewer.
+func writeTraceFile(path string, spans []*obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTraceEvents(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	if _, err := obs.ValidateTraceEvents(rf); err != nil {
+		return fmt.Errorf("trace file %s failed validation: %w", path, err)
 	}
 	return nil
 }

@@ -351,6 +351,9 @@ func New(cfg Config) (*Network, error) {
 	}
 	if cfg.TraceEvery > 0 {
 		n.tracer = obs.NewTracer(cfg.TraceEvery, cfg.TraceRetain)
+		// Registered as a trace source so an instrumented network's spans
+		// surface on the registry's /debug/acn/trace Perfetto export.
+		cfg.Obs.AddTraceSource(n.tracer.Spans)
 	}
 	for i := 0; i < cfg.InitialNodes; i++ {
 		id := n.ring.Join()

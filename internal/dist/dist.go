@@ -124,6 +124,7 @@ type Cluster struct {
 	// Trace must be called before traffic or reconfigurations start; the
 	// handles are then read-only for the cluster's lifetime.
 	tracer *obs.Tracer
+	reg    *obs.Registry
 	hTok   *obs.Hist // per-token injection-to-exit seconds
 	hHop   *obs.Hist // per-hop arrive RPC seconds
 	hQueue *obs.Hist // freeze-queue wait seconds (stored token until resume)
@@ -403,18 +404,40 @@ func (cl *Cluster) Instrument(reg *obs.Registry) {
 	cl.hSplit = reg.Histogram("dist.split.seconds", 0, 0.05, 500)
 	cl.hMerge = reg.Histogram("dist.merge.seconds", 0, 0.05, 500)
 	cl.rc.Instrument(reg)
+	cl.reg = reg
+	if cl.tracer != nil {
+		reg.AddTraceSource(cl.tracer.Spans)
+	}
 }
 
 // Trace enables per-token span sampling: one token in every is traced, and
 // the last retain finished spans are kept (retain <= 0 means 64). Call it
-// before issuing traffic.
+// once, before issuing traffic. When the cluster is (or later becomes)
+// instrumented, the tracer's spans are registered as a trace source on the
+// registry, so /debug/acn/trace exports them as Perfetto trace events.
 func (cl *Cluster) Trace(every, retain int) *obs.Tracer {
 	cl.tracer = obs.NewTracer(every, retain)
+	if cl.reg != nil {
+		cl.reg.AddTraceSource(cl.tracer.Spans)
+	}
 	return cl.tracer
 }
 
 // Tracer returns the span sampler, or nil when tracing is off.
 func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
+
+// InstrumentRPC installs server-side RPC observation — per-kind handler
+// latency histograms, child spans stitched to wire-propagated trace
+// contexts, slow-RPC log and flight recorder — on the cluster's fabric.
+// Returns false when the fabric cannot observe dispatch (only the
+// in-memory Net, tcpnet.Net and Faulty wrappers over them can).
+func (cl *Cluster) InstrumentRPC(o *obs.RPCObs) bool {
+	ri, ok := cl.tr.(transport.RPCInstrumenter)
+	if ok {
+		ri.InstrumentRPC(o)
+	}
+	return ok
+}
 
 // getEP takes a token endpoint from the free-list, binding a fresh one
 // when the list is empty.
@@ -509,6 +532,13 @@ func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 		return nil, err
 	}
 	defer cl.putEP(ep) // clears the window and drains stragglers, once per batch
+	// One sampling decision per batch: a sampled batch's root span carries
+	// every group RPC of the batch, and its context rides each group
+	// arrive so receiving fabrics stitch server-side rpc:agroup spans to
+	// this one timeline.
+	sp := cl.tracer.Start("batch")
+	defer sp.Finish()
+	sp.Event("inject", "", int64(len(ins)))
 	hi := cl.tokSeq.Add(uint64(len(ins)))
 	base := hi - uint64(len(ins)) + 1
 	// Publish the resume window: hi first, so the endpoint handler never
@@ -600,8 +630,8 @@ func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 			if cl.hHop != nil {
 				hopStart = time.Now()
 			}
-			reply, err := cl.rc.Call(ep.addr, g.cm.addr, kindGroupArrive,
-				wire.GroupArrive{Token: string(ep.addr), Wires: g.wires, Seqs: g.seqs})
+			reply, err := cl.rc.CallSpan(ep.addr, g.cm.addr, kindGroupArrive,
+				wire.GroupArrive{Token: string(ep.addr), Wires: g.wires, Seqs: g.seqs}, sp)
 			if err != nil {
 				return nil, fmt.Errorf("dist: group arrive at %v: %w", g.cm.c, err)
 			}
@@ -614,15 +644,24 @@ func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 			case wire.StatusDead:
 				// The component was replaced between resolution and delivery;
 				// the whole group re-resolves against the current cut.
+				if sp != nil {
+					sp.Event("dead", string(g.cm.c.Path), int64(len(g.idxs)))
+				}
 				for k, idx := range g.idxs {
 					pos[idx] = tokenPos{path: g.cm.c.Path, wire: g.wires[k]}
 					active = append(active, idx)
 				}
 			case wire.StatusQueued:
+				if sp != nil {
+					sp.Event("queued", string(g.cm.c.Path), int64(len(g.idxs)))
+				}
 				for k, idx := range g.idxs {
 					waiting[g.seqs[k]] = idx
 				}
 			case wire.StatusProcessed:
+				if sp != nil {
+					sp.Event("group", string(g.cm.c.Path), int64(len(g.idxs)))
+				}
 				if len(res.Outs) != len(g.idxs) {
 					return nil, fmt.Errorf("dist: group arrive reply %d outs for %d tokens", len(res.Outs), len(g.idxs))
 				}
@@ -906,9 +945,12 @@ func (cl *Cluster) CheckStep() error {
 	return nil
 }
 
-// ctl issues one control RPC from the reconfiguration coordinator.
-func (cl *Cluster) ctl(cm *comp, kind string) (any, error) {
-	reply, err := cl.rc.Call("ctl", cm.addr, kind, nil)
+// ctl issues one control RPC from the reconfiguration coordinator. The
+// span (nil when the reconfiguration is unsampled) propagates so the
+// receiving fabric's freeze/total/kill spans stitch to the
+// reconfiguration's trace.
+func (cl *Cluster) ctl(cm *comp, kind string, sp *obs.Span) (any, error) {
+	reply, err := cl.rc.CallSpan("ctl", cm.addr, kind, nil, sp)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %s %v: %w", kind, cm.c, err)
 	}
@@ -926,6 +968,9 @@ func (cl *Cluster) Split(p tree.Path) error {
 	if cl.hSplit != nil {
 		begin = time.Now()
 	}
+	sp := cl.tracer.Start("split")
+	defer sp.Finish()
+	sp.Event("target", string(p), 0)
 
 	cm := (*cl.topo.Load())[p]
 	if cm == nil {
@@ -942,11 +987,14 @@ func (cl *Cluster) Split(p tree.Path) error {
 	}
 
 	// Freeze and snapshot the processed-per-wire history.
-	reply, err := cl.ctl(cm, kindFreeze)
+	reply, err := cl.ctl(cm, kindFreeze, sp)
 	if err != nil {
 		return err
 	}
 	snap := reply.(wire.FreezeRes)
+	if sp != nil {
+		sp.Event("freeze", string(p), int64(snap.Total))
+	}
 
 	totals, flows, err := component.SplitFlows(cm.c, snap.Processed)
 	if err != nil {
@@ -971,10 +1019,18 @@ func (cl *Cluster) Split(p tree.Path) error {
 		}
 	})
 
+	if sp != nil {
+		sp.Event("publish", string(p), int64(len(children)))
+	}
 	// Kill the old incarnation; its stored tokens re-enter at (p, wire) and
 	// findLive descends into the children.
-	if _, err := cl.ctl(cm, kindKill); err != nil {
+	reply, err = cl.ctl(cm, kindKill, sp)
+	if err != nil {
 		return err
+	}
+	if sp != nil {
+		released, _ := reply.(int)
+		sp.Event("kill", string(p), int64(released))
 	}
 	cl.hSplit.Since(begin)
 	return nil
@@ -993,6 +1049,9 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 	if cl.hMerge != nil {
 		begin = time.Now()
 	}
+	sp := cl.tracer.Start("merge")
+	defer sp.Finish()
+	sp.Event("target", string(p), 0)
 	if (*cl.topo.Load())[p] != nil {
 		return fmt.Errorf("dist: merge: %q is already live", p)
 	}
@@ -1036,11 +1095,14 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		if !active {
 			return fmt.Errorf("dist: merge: entry child %v is not active", cm.c)
 		}
-		reply, err := cl.ctl(cm, kindFreeze)
+		reply, err := cl.ctl(cm, kindFreeze, sp)
 		if err != nil {
 			return err
 		}
 		entrySnaps[i] = reply.(wire.FreezeRes)
+		if sp != nil {
+			sp.Event("freeze", string(cm.c.Path), int64(entrySnaps[i].Total))
+		}
 	}
 
 	// Phase 2: wait for internal in-flight tokens to drain, detected by
@@ -1056,7 +1118,7 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		totals := make([]uint64, deg)
 		totals[0], totals[1] = entrySnaps[0].Total, entrySnaps[1].Total
 		for i, cm := range cms[2:] {
-			reply, err := cl.ctl(cm, kindTotal)
+			reply, err := cl.ctl(cm, kindTotal, sp)
 			if err != nil {
 				return err
 			}
@@ -1071,12 +1133,15 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		<-cl.drainCh
 	}
 	cl.hDrain.Since(drainStart)
+	if sp != nil {
+		sp.Event("drained", string(p), 0)
+	}
 
 	// Phase 3: freeze the remaining (now idle) children and combine state.
 	totals := make([]uint64, deg)
 	totals[0], totals[1] = entrySnaps[0].Total, entrySnaps[1].Total
 	for i, cm := range cms[2:] {
-		reply, err := cl.ctl(cm, kindFreeze)
+		reply, err := cl.ctl(cm, kindFreeze, sp)
 		if err != nil {
 			return err
 		}
@@ -1109,11 +1174,19 @@ func (cl *Cluster) mergeLocked(p tree.Path) error {
 		m[p] = merged
 	})
 
+	if sp != nil {
+		sp.Event("publish", string(p), int64(len(children)))
+	}
 	// Phase 5: kill the children; their stored tokens re-enter at
 	// (child, wire) and findLive ascends into the merged parent.
 	for _, cm := range cms {
-		if _, err := cl.ctl(cm, kindKill); err != nil {
+		reply, err := cl.ctl(cm, kindKill, sp)
+		if err != nil {
 			return err
+		}
+		if sp != nil {
+			released, _ := reply.(int)
+			sp.Event("kill", string(cm.c.Path), int64(released))
 		}
 	}
 	cl.hMerge.Since(begin)

@@ -487,11 +487,16 @@ func TestInstrumentedUnderReconfig(t *testing.T) {
 	if cl.Tracer() != tr {
 		t.Fatal("Tracer() accessor mismatch")
 	}
-	if tr.Sampled() != uint64(tokens) {
-		t.Fatalf("sampled %d spans, want every token (%d)", tr.Sampled(), tokens)
+	// Every token plus the two reconfigurations (Split and Merge each open
+	// a span at stride 1).
+	if tr.Sampled() != uint64(tokens)+2 {
+		t.Fatalf("sampled %d spans, want tokens+reconfigs (%d)", tr.Sampled(), tokens+2)
 	}
 	hops := 0
 	for _, s := range tr.Spans() {
+		if s.Name != "token" {
+			continue
+		}
 		for _, e := range s.Events {
 			switch e.Kind {
 			case "hop":

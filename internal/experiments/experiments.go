@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one experiment
-// per paper claim or figure (E1..E28, indexed in DESIGN.md). Each
+// per paper claim or figure (E1..E29, indexed in DESIGN.md). Each
 // experiment runs a seeded, deterministic workload and produces a Table;
 // EXPERIMENTS.md records the tables next to the paper's claims. The cmd
 // acnbench CLI and the repository's benchmarks both drive this package.
@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strconv"
 	"text/tabwriter"
+
+	"repro/internal/obs"
 )
 
 // Options configures an experiment run.
@@ -19,6 +21,12 @@ type Options struct {
 	Seed int64
 	// Quick shrinks sweeps for use inside benchmarks.
 	Quick bool
+	// Obs, when non-nil, receives fabric-level instrumentation from
+	// experiments that build real transports — tcpnet byte counters and
+	// pool-health gauges (dial slots, cooldown windows, live conns) — so a
+	// long `acnbench -http` run exposes transport internals live on
+	// /metrics and /debug/vars.
+	Obs *obs.Registry
 }
 
 // Table is an experiment's result.
@@ -149,6 +157,7 @@ func registerAll() map[string]Func {
 		"E26": E26MulticoreScaling,
 		"E27": E27BatchedInjection,
 		"E28": E28WireTransport,
+		"E29": E29TraceBreakdown,
 	}
 }
 

@@ -47,10 +47,10 @@ func TestUnknownExperiment(t *testing.T) {
 
 func TestIDsOrdered(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 28 {
-		t.Fatalf("got %d experiments, want 28", len(ids))
+	if len(ids) != 29 {
+		t.Fatalf("got %d experiments, want 29", len(ids))
 	}
-	if ids[0] != "E1" || ids[9] != "E10" || ids[27] != "E28" {
+	if ids[0] != "E1" || ids[9] != "E10" || ids[28] != "E29" {
 		t.Fatalf("IDs not numerically ordered: %v", ids)
 	}
 }

@@ -58,6 +58,9 @@ func E28WireTransport(opts Options) (*Table, error) {
 				if tn, err = tcpnet.New(tcpnet.Config{}); err != nil {
 					return nil, err
 				}
+				if opts.Obs != nil {
+					tn.Instrument(opts.Obs)
+				}
 			}
 			if tn != nil {
 				tr = tn

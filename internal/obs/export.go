@@ -126,6 +126,48 @@ func (r *Registry) WriteTable(w io.Writer) error {
 	return tw.Flush()
 }
 
+// AddTraceSource registers a provider of finished spans (typically
+// Tracer.Spans of a cluster's tracer) with the registry's export surface:
+// the /debug/acn/trace handler concatenates every source's spans into one
+// Perfetto trace-event document. Nil registries and nil funcs no-op.
+func (r *Registry) AddTraceSource(fn func() []*Span) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.srcMu.Lock()
+	r.traceSrcs = append(r.traceSrcs, fn)
+	r.srcMu.Unlock()
+}
+
+// AddFlightRecorder registers a flight recorder with the registry's
+// export surface: /debug/acn/flight dumps every registered recorder.
+// Nil registries and nil recorders no-op.
+func (r *Registry) AddFlightRecorder(f *FlightRecorder) {
+	if r == nil || f == nil {
+		return
+	}
+	r.srcMu.Lock()
+	r.flights = append(r.flights, f)
+	r.srcMu.Unlock()
+}
+
+// TraceSpans collects the finished spans of every registered trace
+// source. Nil registries return nil.
+func (r *Registry) TraceSpans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.srcMu.Lock()
+	srcs := make([]func() []*Span, len(r.traceSrcs))
+	copy(srcs, r.traceSrcs)
+	r.srcMu.Unlock()
+	var out []*Span
+	for _, fn := range srcs {
+		out = append(out, fn()...)
+	}
+	return out
+}
+
 // published guards expvar names: expvar.Publish panics on reuse, and
 // tests/experiments build many registries.
 var published sync.Map // name -> *Registry
@@ -151,10 +193,12 @@ func (r *Registry) PublishExpvar(name string) {
 
 // Handler returns an HTTP handler exposing the full export surface:
 //
-//	/metrics        human-readable table dump
-//	/metrics.json   JSON snapshot
-//	/debug/vars     expvar (all published variables)
-//	/debug/pprof/*  the standard pprof profiles
+//	/metrics           human-readable table dump
+//	/metrics.json      JSON snapshot
+//	/debug/vars        expvar (all published variables)
+//	/debug/pprof/*     the standard pprof profiles
+//	/debug/acn/trace   Perfetto trace-event JSON from registered trace sources
+//	/debug/acn/flight  flight-recorder dump from registered recorders
 //
 // Attach it with http.ListenAndServe(addr, reg.Handler()) to profile a
 // running experiment.
@@ -167,6 +211,23 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/acn/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteTraceEvents(w, r.TraceSpans())
+	})
+	mux.HandleFunc("/debug/acn/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r == nil {
+			return
+		}
+		r.srcMu.Lock()
+		flights := make([]*FlightRecorder, len(r.flights))
+		copy(flights, r.flights)
+		r.srcMu.Unlock()
+		for _, f := range flights {
+			_ = f.Dump(w)
+		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightEvent is one record in a flight recorder: a trace-identified
+// moment at an endpoint — typically the completion of a server-side RPC,
+// a slow-RPC threshold crossing, or a handler error.
+type FlightEvent struct {
+	At     time.Time     `json:"at"`
+	Trace  TraceContext  `json:"trace"`
+	Kind   string        `json:"kind"`             // "rpc", "slow", "error"
+	Name   string        `json:"name"`             // message kind ("arrive", "agroup", ...)
+	Dur    time.Duration `json:"dur"`              // handler execution time
+	Detail string        `json:"detail,omitempty"` // error text or annotation
+}
+
+// flightRing is one endpoint's bounded event ring. The ring is allocated
+// once at its fixed capacity; recording overwrites the oldest slot, so a
+// hot endpoint keeps its most recent history and never grows.
+type flightRing struct {
+	mu    sync.Mutex
+	buf   []FlightEvent
+	n     int // live events (<= cap)
+	next  int // ring write position
+	total uint64
+}
+
+func (r *flightRing) record(ev FlightEvent) {
+	r.mu.Lock()
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// snapshot returns the ring's events, oldest first.
+func (r *flightRing) snapshot() ([]FlightEvent, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEvent, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out, r.total
+}
+
+// FlightRecorder keeps a bounded ring of recent trace events per endpoint:
+// a black box that is cheap enough to leave on (one short per-endpoint
+// mutex hold and no allocation per record once an endpoint's ring exists)
+// and dumpable on demand or when an error needs context. All methods
+// no-op on a nil receiver.
+type FlightRecorder struct {
+	per int
+
+	mu    sync.RWMutex
+	rings map[string]*flightRing
+}
+
+// NewFlightRecorder creates a recorder keeping the last perEndpoint
+// events for each endpoint (minimum 1; zero or negative means 64).
+func NewFlightRecorder(perEndpoint int) *FlightRecorder {
+	if perEndpoint < 1 {
+		perEndpoint = 64
+	}
+	return &FlightRecorder{per: perEndpoint, rings: make(map[string]*flightRing)}
+}
+
+// ring returns the endpoint's ring, creating it on first use.
+func (f *FlightRecorder) ring(endpoint string) *flightRing {
+	f.mu.RLock()
+	r := f.rings[endpoint]
+	f.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r = f.rings[endpoint]; r == nil {
+		r = &flightRing{buf: make([]FlightEvent, f.per)}
+		f.rings[endpoint] = r
+	}
+	return r
+}
+
+// Record appends one event to the endpoint's ring, overwriting the oldest
+// when full. Nil recorders drop the event.
+func (f *FlightRecorder) Record(endpoint string, ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	f.ring(endpoint).record(ev)
+}
+
+// Snapshot returns every endpoint's retained events, oldest first per
+// endpoint. Nil recorders return nil.
+func (f *FlightRecorder) Snapshot() map[string][]FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	rings := make(map[string]*flightRing, len(f.rings))
+	for ep, r := range f.rings {
+		rings[ep] = r
+	}
+	f.mu.RUnlock()
+	out := make(map[string][]FlightEvent, len(rings))
+	for ep, r := range rings {
+		evs, _ := r.snapshot()
+		out[ep] = evs
+	}
+	return out
+}
+
+// Dump renders every endpoint's retained events, endpoints sorted by
+// name, events oldest first — the on-demand (or on-error) black-box dump.
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.RLock()
+	eps := make([]string, 0, len(f.rings))
+	for ep := range f.rings {
+		eps = append(eps, ep)
+	}
+	f.mu.RUnlock()
+	sort.Strings(eps)
+	for _, ep := range eps {
+		f.mu.RLock()
+		r := f.rings[ep]
+		f.mu.RUnlock()
+		evs, total := r.snapshot()
+		if _, err := fmt.Fprintf(w, "endpoint %s (%d recorded, last %d):\n", ep, total, len(evs)); err != nil {
+			return err
+		}
+		for _, ev := range evs {
+			line := fmt.Sprintf("  %s %-5s %-8s %v trace=%016x span=%016x",
+				ev.At.Format("15:04:05.000000"), ev.Kind, ev.Name, ev.Dur, ev.Trace.TraceID, ev.Trace.SpanID)
+			if ev.Detail != "" {
+				line += " " + ev.Detail
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

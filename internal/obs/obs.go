@@ -36,6 +36,10 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Hist
+
+	srcMu     sync.Mutex
+	traceSrcs []func() []*Span
+	flights   []*FlightRecorder
 }
 
 // NewRegistry creates an empty registry.

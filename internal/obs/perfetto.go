@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// traceEvent is one entry of the Chrome/Perfetto trace-event JSON format
+// (the "JSON Array Format" with a traceEvents wrapper object). Timestamps
+// and durations are microseconds.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceEventDoc is the top-level object: {"traceEvents": [...]}.
+type traceEventDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// usec converts a duration to fractional microseconds.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteTraceEvents renders finished spans as Chrome/Perfetto trace-event
+// JSON, loadable in ui.perfetto.dev or chrome://tracing. Each trace ID
+// becomes one thread row (tid assigned in first-appearance order, with a
+// thread_name metadata record carrying the hex trace ID), each span a
+// complete ("X") slice on that row — child RPC spans nest under the root
+// they stitch to — and each span event an instant ("i") mark. Timestamps
+// are rebased to the earliest span begin so the timeline starts at zero.
+// Nil spans in the slice are skipped; an empty slice writes a valid empty
+// document.
+func WriteTraceEvents(w io.Writer, spans []*Span) error {
+	live := make([]*Span, 0, len(spans))
+	for _, s := range spans {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool { return live[i].Begin.Before(live[j].Begin) })
+
+	var epoch time.Time
+	if len(live) > 0 {
+		epoch = live[0].Begin
+	}
+	doc := traceEventDoc{TraceEvents: make([]traceEvent, 0, 2*len(live)+1)}
+	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]string{"name": "acn"},
+	})
+	tids := make(map[uint64]int, len(live))
+	for _, s := range live {
+		tid, ok := tids[s.TraceID]
+		if !ok {
+			tid = len(tids) + 1
+			tids[s.TraceID] = tid
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+				Args: map[string]string{"name": fmt.Sprintf("trace %016x", s.TraceID)},
+			})
+		}
+		dur := usec(s.Dur)
+		args := map[string]string{
+			"trace": fmt.Sprintf("%016x", s.TraceID),
+			"span":  fmt.Sprintf("%016x", s.SpanID),
+		}
+		if s.ParentID != 0 {
+			args["parent"] = fmt.Sprintf("%016x", s.ParentID)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: s.Name, Ph: "X", TS: usec(s.Begin.Sub(epoch)), Dur: &dur,
+			PID: 1, TID: tid, Args: args,
+		})
+		for _, e := range s.Events {
+			args := map[string]string{"span": fmt.Sprintf("%016x", s.SpanID)}
+			if e.Detail != "" {
+				args["detail"] = e.Detail
+			}
+			if e.V != 0 {
+				args["v"] = fmt.Sprintf("%d", e.V)
+			}
+			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+				Name: e.Kind, Ph: "i", TS: usec(s.Begin.Add(e.At).Sub(epoch)),
+				PID: 1, TID: tid, S: "t", Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// ValidateTraceEvents parses trace-event JSON (as written by
+// WriteTraceEvents) and checks its structural invariants: a single
+// top-level object with a traceEvents array, every event named with a
+// known phase, non-negative timestamps and durations. It returns the
+// number of events. This is the `make tracesmoke` validator.
+func ValidateTraceEvents(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			TS   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("obs: trace events: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return 0, fmt.Errorf("obs: trace events: trailing data after document")
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("obs: trace event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "X", "i", "I", "M", "B", "E":
+		default:
+			return 0, fmt.Errorf("obs: trace event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 {
+			return 0, fmt.Errorf("obs: trace event %d (%s): negative ts %v", i, ev.Name, ev.TS)
+		}
+		if ev.Dur != nil && *ev.Dur < 0 {
+			return 0, fmt.Errorf("obs: trace event %d (%s): negative dur %v", i, ev.Name, *ev.Dur)
+		}
+	}
+	return len(doc.TraceEvents), nil
+}

@@ -8,12 +8,53 @@ import (
 	"time"
 )
 
+// TraceContext is the wire-propagable identity of a sampled trace: the
+// 64-bit trace ID shared by every span of one causal journey, and the span
+// ID of the currently-open span (the parent of any span a receiver opens
+// for this context). The zero value means "unsampled": it costs two zero
+// varint bytes on the wire and produces no spans anywhere downstream.
+type TraceContext struct {
+	TraceID uint64 `json:"traceId"`
+	SpanID  uint64 `json:"spanId"`
+}
+
+// Sampled reports whether this context belongs to a sampled trace.
+func (tc TraceContext) Sampled() bool { return tc.TraceID != 0 }
+
+// idSeq drives trace and span ID generation: a process-wide sequence fed
+// through a splitmix64 finalizer, so IDs are unique within a process,
+// deterministic per run, and well mixed (the Perfetto exporter and the
+// flight recorder key on them).
+var idSeq atomic.Uint64
+
+// newID returns a fresh nonzero 64-bit identifier.
+func newID() uint64 {
+	for {
+		if x := splitmix64(idSeq.Add(1)); x != 0 {
+			return x
+		}
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// mixer, so distinct sequence values can never collide.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Tracer samples per-token trace spans. Every Nth Start call (the sampling
 // stride) returns a live *Span; the rest return nil, and all Span methods
 // no-op on nil, so an unsampled token pays one atomic increment and no
 // allocation. Finished spans are retained in a bounded ring buffer: a
 // full-load run keeps the last `retain` sampled journeys for inspection
 // without unbounded memory.
+//
+// Sampled spans carry real identity — a trace ID, a span ID and a parent
+// span ID — so spans opened on other endpoints for the same journey (via
+// StartChild and a wire-propagated TraceContext) stitch into one trace.
 type Tracer struct {
 	every  uint64
 	retain int
@@ -50,7 +91,26 @@ func (t *Tracer) Start(name string) *Span {
 		return nil
 	}
 	t.sampled.Add(1)
-	return &Span{t: t, Name: name, Begin: time.Now(), Events: make([]Event, 0, 8)}
+	return &Span{
+		t: t, Name: name, Begin: time.Now(), Events: make([]Event, 0, 8),
+		TraceID: newID(), SpanID: newID(),
+	}
+}
+
+// StartChild begins a span belonging to an existing trace: the child keeps
+// the parent's trace ID and records the parent's span ID as its parent.
+// Receivers call it with a wire-propagated TraceContext to open the
+// server-side half of an RPC. Child spans follow the parent's sampling
+// decision rather than the stride: an unsampled parent context (or a nil
+// tracer) returns nil, so the unsampled path allocates nothing.
+func (t *Tracer) StartChild(name string, parent TraceContext) *Span {
+	if t == nil || !parent.Sampled() {
+		return nil
+	}
+	return &Span{
+		t: t, Name: name, Begin: time.Now(), Events: make([]Event, 0, 4),
+		TraceID: parent.TraceID, SpanID: newID(), ParentID: parent.SpanID,
+	}
 }
 
 // keep records a finished span in the retention ring.
@@ -105,7 +165,7 @@ func (t *Tracer) WriteSpans(w io.Writer, max int) error {
 		spans = spans[len(spans)-max:]
 	}
 	for _, s := range spans {
-		if _, err := fmt.Fprintf(w, "span %s (%v, %d events)\n", s.Name, s.Dur, len(s.Events)); err != nil {
+		if _, err := fmt.Fprintf(w, "span %s trace=%016x (%v, %d events)\n", s.Name, s.TraceID, s.Dur, len(s.Events)); err != nil {
 			return err
 		}
 		for _, e := range s.Events {
@@ -134,15 +194,32 @@ type Event struct {
 	V      int64         `json:"v,omitempty"` // numeric payload (hop count, wire, ...)
 }
 
-// Span is one sampled journey. A span belongs to a single goroutine (the
-// token it traces); only the tracer's retention ring is shared. All
-// methods no-op on a nil receiver.
+// Span is one sampled journey (or one server-side RPC within a journey).
+// A span belongs to a single goroutine (the token it traces); only the
+// tracer's retention ring is shared. All methods no-op on a nil receiver.
+//
+// TraceID groups every span of one causal journey; ParentID is the span
+// that caused this one (zero for a root span). Context() packages the
+// identity for wire propagation.
 type Span struct {
-	t      *Tracer
-	Name   string        `json:"name"`
-	Begin  time.Time     `json:"begin"`
-	Dur    time.Duration `json:"dur"`
-	Events []Event       `json:"events"`
+	t        *Tracer
+	Name     string        `json:"name"`
+	TraceID  uint64        `json:"traceId"`
+	SpanID   uint64        `json:"spanId"`
+	ParentID uint64        `json:"parentId,omitempty"`
+	Begin    time.Time     `json:"begin"`
+	Dur      time.Duration `json:"dur"`
+	Events   []Event       `json:"events"`
+}
+
+// Context returns the span's wire-propagable trace context. A nil span
+// returns the zero (unsampled) context, so callers thread sp.Context()
+// into outgoing requests without a nil check.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.TraceID, SpanID: s.SpanID}
 }
 
 // Event appends one event at the current offset.

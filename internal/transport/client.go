@@ -127,7 +127,7 @@ func (c *Client) Call(from, to Addr, kind string, body any) (any, error) {
 // a "retry" event on sp (nil-safe), so a sampled token's trace shows the
 // reliability work its messages cost.
 func (c *Client) CallSpan(from, to Addr, kind string, body any, sp *obs.Span) (any, error) {
-	req := Request{ID: c.next.Add(1), From: from, To: to, Kind: kind, Body: body}
+	req := Request{ID: c.next.Add(1), From: from, To: to, Kind: kind, Trace: sp.Context(), Body: body}
 	c.mu.Lock()
 	c.stats.Calls++
 	rtt, backoffH, attemptsH := c.obsRTT, c.obsBackoff, c.obsAttempts

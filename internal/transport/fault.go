@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FaultConfig configures the fault-injection wrapper. All probabilities are
@@ -62,6 +64,15 @@ func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		parts: make(map[[2]Addr]bool),
+	}
+}
+
+// InstrumentRPC forwards server-side RPC observation to the inner fabric
+// when it supports it (faults are injected around Send; handler execution
+// still happens inside the inner fabric).
+func (f *Faulty) InstrumentRPC(o *obs.RPCObs) {
+	if ri, ok := f.inner.(RPCInstrumenter); ok {
+		ri.InstrumentRPC(o)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Net is the deterministic in-memory switch: Send looks up the destination
@@ -26,6 +28,11 @@ type Net struct {
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	dedupHits atomic.Uint64
+
+	// rpc observes server-side handler execution (nil when
+	// uninstrumented); swapped atomically so InstrumentRPC on a live
+	// switch never races in-flight Sends.
+	rpc atomic.Pointer[obs.RPCObs]
 }
 
 // endpoint is one bound address. Its dedup table is installed atomically so
@@ -98,15 +105,36 @@ func (n *Net) Send(req Request, timeout time.Duration) (any, error) {
 	if tbl == nil {
 		// Dedup off: execute directly.
 		n.delivered.Add(1)
-		return ep.h(req)
+		return n.serve(ep, req)
 	}
 	reply, err, hit := tbl.Do(req.ID, func() (any, error) {
 		n.delivered.Add(1)
-		return ep.h(req)
+		return n.serve(ep, req)
 	})
 	if hit {
 		n.dedupHits.Add(1)
 	}
+	return reply, err
+}
+
+// InstrumentRPC installs server-side RPC observation: every handler
+// execution is timed into per-kind latency histograms, and sampled
+// requests get a child span stitched to the wire-propagated trace
+// context. Passing nil uninstalls. Safe to call on a live switch.
+func (n *Net) InstrumentRPC(o *obs.RPCObs) {
+	n.rpc.Store(o)
+}
+
+// serve runs the endpoint's handler, observed by the installed RPCObs
+// (one atomic load when uninstrumented).
+func (n *Net) serve(ep *endpoint, req Request) (any, error) {
+	o := n.rpc.Load()
+	if o == nil {
+		return ep.h(req)
+	}
+	sp, start := o.Begin(req.Kind, req.Trace)
+	reply, err := ep.h(req)
+	o.End(req.Kind, string(req.To), sp, start, err)
 	return reply, err
 }
 

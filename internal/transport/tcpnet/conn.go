@@ -202,7 +202,17 @@ func (n *Net) dispatch(req transport.Request) (wire.ReplyStatus, any, string) {
 	}
 	run := func() (any, error) {
 		n.delivered.Add(1)
-		return ep.h(req)
+		o := n.rpc.Load()
+		if o == nil {
+			return ep.h(req)
+		}
+		// The child span ends (and lands in the tracer ring) before the
+		// reply frame is written, so once a caller's Send returns, every
+		// server-side span of that call is already retained.
+		sp, start := o.Begin(req.Kind, req.Trace)
+		reply, err := ep.h(req)
+		o.End(req.Kind, string(req.To), sp, start, err)
+		return reply, err
 	}
 	var reply any
 	var err error
@@ -296,6 +306,12 @@ func (p *pool) conn() (*conn, error) {
 		}
 		p.conns = live
 		cooling := !p.coolDown.IsZero() && time.Now().Before(p.coolDown)
+		if !cooling && !p.coolDown.IsZero() {
+			// Cooldown expired: clear it so the gauge reflects only pools
+			// still refusing dials.
+			p.coolDown = time.Time{}
+			p.n.ins().gCooling.Add(-1)
+		}
 		if len(p.conns) > 0 && (len(p.conns)+p.dialing >= p.n.cfg.PoolSize || cooling) {
 			p.rr++
 			c := p.conns[p.rr%uint64(len(p.conns))]
@@ -308,10 +324,12 @@ func (p *pool) conn() (*conn, error) {
 		}
 		if len(p.conns)+p.dialing < p.n.cfg.PoolSize {
 			p.dialing++
+			p.n.ins().gDialing.Add(1)
 			p.mu.Unlock()
 			c, err := p.dial()
 			p.mu.Lock()
 			p.dialing--
+			p.n.ins().gDialing.Add(-1)
 			if p.cond != nil {
 				p.cond.Broadcast()
 			}
@@ -349,7 +367,10 @@ func (p *pool) dial() (*conn, error) {
 			setNoDelay(c)
 			p.mu.Lock()
 			p.backoff = p.n.cfg.DialBackoff
-			p.coolDown = time.Time{}
+			if !p.coolDown.IsZero() {
+				p.coolDown = time.Time{}
+				p.n.ins().gCooling.Add(-1)
+			}
 			p.mu.Unlock()
 			cn := p.n.newConn(c)
 			cn.retireFn = func() { p.retire(cn) }
@@ -360,6 +381,9 @@ func (p *pool) dial() (*conn, error) {
 		p.n.dialFails.Add(1)
 	}
 	p.mu.Lock()
+	if p.coolDown.IsZero() {
+		p.n.ins().gCooling.Add(1)
+	}
 	p.coolDown = time.Now().Add(p.backoff)
 	if p.backoff *= 2; p.backoff > p.n.cfg.DialBackoffCap {
 		p.backoff = p.n.cfg.DialBackoffCap

@@ -146,15 +146,23 @@ type Net struct {
 	// accept and read loops are already running by then). All handles are
 	// nil until instrumented; obs instruments no-op on nil receivers.
 	instr atomic.Pointer[instruments]
+
+	// rpc observes server-side handler execution — per-kind latency
+	// histograms, child spans stitched to the wire-propagated trace
+	// context, slow-RPC log, flight recorder. Swapped atomically by
+	// InstrumentRPC; nil when uninstrumented.
+	rpc atomic.Pointer[obs.RPCObs]
 }
 
 // instruments bundles the obs handles so they install atomically.
 type instruments struct {
-	hEnc  *obs.Hist // encode seconds per message
-	hDec  *obs.Hist // decode seconds per message
-	cIn   *obs.Counter
-	cOut  *obs.Counter
-	gConn *obs.Gauge
+	hEnc     *obs.Hist // encode seconds per message
+	hDec     *obs.Hist // decode seconds per message
+	cIn      *obs.Counter
+	cOut     *obs.Counter
+	gConn    *obs.Gauge
+	gDialing *obs.Gauge // dial slots currently held by in-progress dials
+	gCooling *obs.Gauge // destination pools inside a post-failure cooldown
 }
 
 var noInstr = &instruments{}
@@ -237,12 +245,23 @@ func (n *Net) Instrument(reg *obs.Registry) {
 		return
 	}
 	n.instr.Store(&instruments{
-		hEnc:  reg.Histogram("tcpnet.encode.seconds", 0, 0.001, 200),
-		hDec:  reg.Histogram("tcpnet.decode.seconds", 0, 0.001, 200),
-		cIn:   reg.Counter("tcpnet.bytes.in"),
-		cOut:  reg.Counter("tcpnet.bytes.out"),
-		gConn: reg.Gauge("tcpnet.conns.open"),
+		hEnc:     reg.Histogram("tcpnet.encode.seconds", 0, 0.001, 200),
+		hDec:     reg.Histogram("tcpnet.decode.seconds", 0, 0.001, 200),
+		cIn:      reg.Counter("tcpnet.bytes.in"),
+		cOut:     reg.Counter("tcpnet.bytes.out"),
+		gConn:    reg.Gauge("tcpnet.conns.open"),
+		gDialing: reg.Gauge("tcpnet.pool.dialing"),
+		gCooling: reg.Gauge("tcpnet.pool.cooldown"),
 	})
+}
+
+// InstrumentRPC installs server-side RPC observation on this fabric's
+// dispatch path: handler latency per message kind, child spans for
+// sampled wire-propagated trace contexts, and the observer's slow-RPC /
+// flight-recorder policies. Passing nil uninstalls. Safe to call while
+// traffic flows.
+func (n *Net) InstrumentRPC(o *obs.RPCObs) {
+	n.rpc.Store(o)
 }
 
 // EnableDedup implements transport.Deduper: every current and future
@@ -380,6 +399,46 @@ func (n *Net) WireStats() WireStats {
 		DialFails: n.dialFails.Load(),
 		ConnsOpen: n.connsOpen.Load(),
 	}
+}
+
+// PoolStats is an exact point-in-time snapshot of the outbound
+// connection pools: the transport-health view behind the
+// tcpnet.pool.* gauges.
+type PoolStats struct {
+	Pools   int // destinations with a pool
+	Conns   int // live pooled outbound connections
+	Dialing int // dial slots currently held by in-progress dials
+	Cooling int // pools inside a post-failure dial cooldown window
+}
+
+// PoolStats walks every destination pool and returns exact counts
+// (the gauges are transition-maintained; this is the ground truth).
+func (n *Net) PoolStats() PoolStats {
+	n.poolMu.Lock()
+	pools := make([]*pool, 0, len(n.pools))
+	for _, p := range n.pools {
+		pools = append(pools, p)
+	}
+	n.poolMu.Unlock()
+	var ps PoolStats
+	ps.Pools = len(pools)
+	now := time.Now()
+	for _, p := range pools {
+		p.mu.Lock()
+		for _, c := range p.conns {
+			select {
+			case <-c.dead:
+			default:
+				ps.Conns++
+			}
+		}
+		ps.Dialing += p.dialing
+		if !p.coolDown.IsZero() && now.Before(p.coolDown) {
+			ps.Cooling++
+		}
+		p.mu.Unlock()
+	}
+	return ps
 }
 
 // DedupEntries returns the cached at-most-once calls across all bound

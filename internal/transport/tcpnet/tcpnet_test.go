@@ -390,3 +390,56 @@ func TestDedupBoundOverSocket(t *testing.T) {
 		t.Fatalf("dedup cache holds %d entries after %d calls, cap %d", got, calls, transport.DefaultDedupCap)
 	}
 }
+
+// TestPoolHealthStats: PoolStats is an exact walk of the outbound pools,
+// and the tcpnet.pool.* gauges surface the same health transitions —
+// live conns after traffic, a cooldown entry after a dead dial.
+func TestPoolHealthStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	n, err := New(Config{DialBackoff: 300 * time.Millisecond, DialBackoffCap: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	n.Instrument(reg)
+	if err := n.Bind("n:echo", func(req transport.Request) (any, error) {
+		return req.Body.(uint64), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if ps := n.PoolStats(); ps != (PoolStats{}) {
+		t.Fatalf("idle fabric has pool stats %+v", ps)
+	}
+	if _, err := n.Send(transport.Request{ID: nextID(), To: "n:echo", Kind: wire.KindCPF, Body: uint64(1)}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ps := n.PoolStats()
+	if ps.Pools != 1 || ps.Conns < 1 {
+		t.Fatalf("after one call: %+v, want 1 pool with a live conn", ps)
+	}
+	if ps.Dialing != 0 || ps.Cooling != 0 {
+		t.Fatalf("healthy pool reports dialing/cooling: %+v", ps)
+	}
+	if v := reg.Gauge("tcpnet.pool.dialing").Value(); v != 0 {
+		t.Fatalf("pool.dialing gauge %d after dial completed", v)
+	}
+
+	// A dead destination fails its dial attempts and leaves the pool in a
+	// cooldown window, visible in both the exact walk and the gauge.
+	n.Route("x:", "127.0.0.1:1")
+	if _, err := n.Send(transport.Request{ID: nextID(), To: "x:gone", Kind: wire.KindProbe, Body: uint64(0)}, time.Second); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("dead dial: %v, want ErrUnreachable", err)
+	}
+	ps = n.PoolStats()
+	if ps.Pools != 2 || ps.Cooling != 1 {
+		t.Fatalf("after dead dial: %+v, want 2 pools with 1 cooling", ps)
+	}
+	if v := reg.Gauge("tcpnet.pool.cooldown").Value(); v != 1 {
+		t.Fatalf("pool.cooldown gauge %d, want 1", v)
+	}
+	// The healthy pool still serves while the dead one cools.
+	if _, err := n.Send(transport.Request{ID: nextID(), To: "n:echo", Kind: wire.KindCPF, Body: uint64(2)}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -27,6 +27,8 @@ package transport
 import (
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Addr is a transport endpoint address. Conventional namespaces: "n:<id>"
@@ -44,6 +46,11 @@ type Request struct {
 	// Kind is the application-level message discriminator ("arrive",
 	// "freeze", "cpf", ...).
 	Kind string
+	// Trace carries the caller's trace context across the transport (and,
+	// for wire-encoded transports, across the socket): receivers stitch
+	// server-side RPC spans to it. The zero value means unsampled and
+	// costs nothing downstream.
+	Trace obs.TraceContext
 	// Body is the request payload (in-memory transport: passed by value).
 	Body any
 }
@@ -66,6 +73,14 @@ type Transport interface {
 	Send(req Request, timeout time.Duration) (any, error)
 	// Stats returns a snapshot of the per-message counters.
 	Stats() Stats
+}
+
+// RPCInstrumenter is implemented by fabrics that can observe server-side
+// handler execution (the in-memory Net and tcpnet.Net): per-kind latency
+// histograms, child spans stitched to the request's trace context, and
+// the observer's slow-RPC / flight-recorder policies.
+type RPCInstrumenter interface {
+	InstrumentRPC(*obs.RPCObs)
 }
 
 // ErrTimeout is returned by Send when no reply arrived within the deadline

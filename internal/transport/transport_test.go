@@ -324,3 +324,70 @@ func TestCallSpanRecordsRetries(t *testing.T) {
 		t.Fatalf("attempts histogram = %+v, want one 3-attempt call", att)
 	}
 }
+
+// TestInstrumentedMemRPC: the memory switch runs handlers through an
+// installed RPCObs — per-kind histograms move, and a sampled caller
+// context yields a server-side child span stitched to it.
+func TestInstrumentedMemRPC(t *testing.T) {
+	n := NewMem()
+	if err := n.Bind("c/00", func(req Request) (any, error) {
+		return req.Body, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1, 16)
+	n.InstrumentRPC(obs.NewRPCObs(obs.RPCObsConfig{Tracer: tr, Registry: reg}))
+
+	parent := tr.Start("token")
+	if _, err := n.Send(Request{ID: 1, From: "x", To: "c/00", Kind: "arrive", Trace: parent.Context(), Body: uint64(7)}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	parent.Finish()
+
+	if h, ok := reg.Snapshot().Histograms["rpc.arrive.seconds"]; !ok || h.Count != 1 {
+		t.Fatalf("rpc.arrive.seconds = %+v, want 1 observation", h)
+	}
+	var server *obs.Span
+	for _, s := range tr.Spans() {
+		if s.Name == "rpc:arrive" {
+			server = s
+		}
+	}
+	if server == nil {
+		t.Fatal("no server-side rpc:arrive span")
+	}
+	if server.TraceID != parent.TraceID || server.ParentID != parent.SpanID {
+		t.Fatalf("server span trace=%x parent=%x, want trace=%x parent=%x",
+			server.TraceID, server.ParentID, parent.TraceID, parent.SpanID)
+	}
+}
+
+// TestInstrumentedSendUnsampledAllocFree pins the hot-path cost of the
+// trace spine: with an RPCObs installed but the caller unsampled, a warm
+// memory-switch Send allocates nothing.
+func TestInstrumentedSendUnsampledAllocFree(t *testing.T) {
+	n := NewMem()
+	reply := any(uint64(7)) // pre-boxed so the handler itself is alloc-free
+	if err := n.Bind("c/00", func(Request) (any, error) {
+		return reply, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.InstrumentRPC(obs.NewRPCObs(obs.RPCObsConfig{
+		Tracer:   obs.NewTracer(1, 16),
+		Registry: obs.NewRegistry(),
+		Flight:   obs.NewFlightRecorder(8),
+	}))
+	req := Request{ID: 1, From: "x", To: "c/00", Kind: "arrive", Body: nil}
+	if _, err := n.Send(req, time.Second); err != nil { // warm the per-kind cache
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := n.Send(req, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("unsampled instrumented Send allocates %v per op", allocs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -26,7 +27,10 @@ func roundTripEnvelopes(t *testing.T, kind string, mux uint64, body, reply any) 
 		From: "t:src",
 		To:   "c:dst#1",
 		Kind: kind,
-		Body: body,
+		// Derive the trace context from mux so fuzz inputs sweep it
+		// (mux 0 exercises the unsampled zero context).
+		Trace: obs.TraceContext{TraceID: mux * 0x9e3779b97f4a7c15, SpanID: mux},
+		Body:  body,
 	}
 
 	enc := NewEncoder(64)
@@ -228,6 +232,8 @@ func TestCorruptFramesAreTyped(t *testing.T) {
 			e.Uvarint(2)
 			e.String("t:a")
 			e.String("c:b")
+			e.Uvarint(0) // trace id (unsampled)
+			e.Uvarint(0) // span id
 			e.Byte(99)
 			return e.Bytes()
 		}(), ErrUnknownKind},
@@ -274,7 +280,9 @@ func TestCorruptFramesAreTyped(t *testing.T) {
 			e.Uvarint(2)
 			e.String("t:a")
 			e.String("c:b")
-			e.Byte(2) // KindGroupArrive code
+			e.Uvarint(0) // trace id (unsampled)
+			e.Uvarint(0) // span id
+			e.Byte(2)    // KindGroupArrive code
 			e.String("t:a")
 			e.Ints([]int{1, 2})
 			e.Uint64s([]uint64{5})

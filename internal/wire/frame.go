@@ -65,6 +65,11 @@ func EncodeRequest(e *Encoder, mux uint64, req transport.Request) error {
 	e.Uvarint(req.ID)
 	e.String(string(req.From))
 	e.String(string(req.To))
+	// Trace context travels with every request so server-side spans stitch
+	// to the caller's trace across real sockets. Unsampled requests carry
+	// the zero context: two zero bytes.
+	e.Uvarint(req.Trace.TraceID)
+	e.Uvarint(req.Trace.SpanID)
 	e.Byte(c.Code)
 	return c.EncodeReq(e, req.Body)
 }
@@ -140,6 +145,12 @@ func decodeRequest(d *Decoder) (*Request, error) {
 		return nil, err
 	}
 	r.Req.From, r.Req.To = transport.Addr(from), transport.Addr(to)
+	if r.Req.Trace.TraceID, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	if r.Req.Trace.SpanID, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
 	code, err := d.Byte()
 	if err != nil {
 		return nil, err

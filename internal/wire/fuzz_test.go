@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -136,6 +137,18 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	e := NewEncoder(32)
 	if err := EncodeReply(e, 9, 0, ReplyAppError, nil, "boom"); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), e.Bytes()...))
+	// One request carrying a sampled trace context, so mutation explores
+	// the two trace-ID varints the envelope gained (the kindCases seeds
+	// above all encode the unsampled two-zero-byte form).
+	e.Reset()
+	if err := EncodeRequest(e, 7, transport.Request{
+		ID: 8, From: "t:a", To: "c:b", Kind: KindArrive,
+		Trace: obs.TraceContext{TraceID: 0xdeadbeefcafef00d, SpanID: 0x0123456789abcdef},
+		Body:  Arrive{Wire: 1, Token: "t:a", Seq: 8},
+	}); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(append([]byte(nil), e.Bytes()...))
