@@ -3,7 +3,7 @@ GO ?= go
 # get a second pass under the race detector.
 RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
 
-.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke bench-baseline
+.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke bench-baseline bench-compare
 
 check: fmt vet build test race benchsmoke perfsmoke tracesmoke
 
@@ -56,3 +56,12 @@ bench-baseline:
 		-benchmem -benchtime 1s -run '^$$' . \
 		| $(GO) run ./cmd/acnbench -json -label $(LABEL) > BENCH_$(LABEL).json
 	@echo wrote BENCH_$(LABEL).json
+
+# Compare two baseline files and fail on ns/op regressions beyond
+# MAXREGRESS percent — the perf-regression CI gate, e.g.
+# `make bench-compare OLD=BENCH_pre.json NEW=BENCH_post.json`.
+OLD ?= BENCH_pre.json
+NEW ?= BENCH_post.json
+MAXREGRESS ?= 10
+bench-compare:
+	$(GO) run ./cmd/acnbench -compare -maxregress $(MAXREGRESS) $(OLD) $(NEW)

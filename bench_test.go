@@ -403,6 +403,8 @@ func BenchmarkE28WireTransport(b *testing.B) { benchExperiment(b, "E28") }
 
 func BenchmarkE29TraceBreakdown(b *testing.B) { benchExperiment(b, "E29") }
 
+func BenchmarkE30RPCFastPath(b *testing.B) { benchExperiment(b, "E30") }
+
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency
 // percentiles across N are the observability layer's acceptance output.
@@ -514,6 +516,30 @@ func BenchmarkTokenDistTCP(b *testing.B) {
 	}
 }
 
+// BenchmarkTokenDistTCPParallel is BenchmarkTokenDistTCP with many
+// concurrent senders: 8x GOMAXPROCS injector goroutines share the same
+// pooled TCP fabric, so connection write contention, reply demultiplexing
+// and handler dispatch are all on the measured path — the workload the
+// coalesced-write and pooled-frame fast path exists for. ns/op is per
+// token across all senders.
+func BenchmarkTokenDistTCPParallel(b *testing.B) {
+	w := 64
+	cl := distClusterTCP(b, w)
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(8) // >=8 senders even on a single-core host
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			if _, err := cl.Inject(rng.Intn(w)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // BenchmarkTokenDistTCPBatch drives the same TCP fabric through the group
 // wire message: one group-arrive RPC per component visit per batch. ns/op
 // is still per token (b.N tokens total).
@@ -523,6 +549,7 @@ func BenchmarkTokenDistTCPBatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const batch = 64
 	ins := make([]int, batch)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for done := 0; done < b.N; done += batch {
 		n := batch

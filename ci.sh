@@ -3,6 +3,11 @@
 # for environments without make: formatting, vet, build, full tests, a
 # race-detector pass over the concurrent packages, and a one-iteration
 # benchmark smoke pass.
+#
+# Perf regressions are gated separately (baselines take minutes, not
+# seconds): `make bench-baseline LABEL=x` records a run, and
+# `make bench-compare OLD=a.json NEW=b.json` (acnbench -compare) fails
+# when any shared benchmark's ns/op regresses beyond MAXREGRESS percent.
 set -eu
 cd "$(dirname "$0")"
 

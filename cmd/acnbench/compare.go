@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/stats"
+)
+
+// loadBenchRuns reads one BENCH_*.json file and indexes its results by
+// benchmark name, keeping the last occurrence: a file holding both a
+// "pre" and a "post" run compares at its most recent numbers.
+func loadBenchRuns(path string) (map[string]stats.BenchResult, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	runs, err := stats.ReadBenchJSON(f)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]stats.BenchResult)
+	label := ""
+	for _, run := range runs {
+		if run.Label != "" {
+			label = run.Label
+		}
+		for _, r := range run.Results {
+			byName[r.Name] = r
+		}
+	}
+	return byName, label, nil
+}
+
+// compareBench prints per-benchmark ns/op and allocs/op deltas between two
+// baseline files and returns an error when any shared benchmark regressed
+// by more than maxRegress percent — the `make bench-compare` CI gate.
+func compareBench(oldPath, newPath string, maxRegress float64) error {
+	oldRes, oldLabel, err := loadBenchRuns(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, newLabel, err := loadBenchRuns(newPath)
+	if err != nil {
+		return err
+	}
+	if oldLabel == "" {
+		oldLabel = oldPath
+	}
+	if newLabel == "" {
+		newLabel = newPath
+	}
+
+	shared := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if _, ok := oldRes[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	sort.Strings(shared)
+	if len(shared) == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\t%s ns/op\t%s ns/op\tdelta\tallocs/op\n", oldLabel, newLabel)
+	var regressed []string
+	for _, name := range shared {
+		o, n := oldRes[name], newRes[name]
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (%+.1f%% ns/op)", name, delta))
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%g -> %g%s\n",
+			name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp, mark)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if only := len(newRes) - len(shared); only > 0 {
+		fmt.Printf("(%d benchmarks only in %s, not compared)\n", only, newPath)
+	}
+	if only := len(oldRes) - len(shared); only > 0 {
+		fmt.Printf("(%d benchmarks only in %s, not compared)\n", only, oldPath)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%: %v", len(regressed), maxRegress, regressed)
+	}
+	fmt.Printf("ok: no ns/op regression beyond %.1f%% across %d shared benchmarks\n", maxRegress, len(shared))
+	return nil
+}

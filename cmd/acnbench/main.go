@@ -13,6 +13,7 @@
 //	acnbench -memprofile mem.out -run E20   # write a heap profile at exit
 //	acnbench -validatetrace out.json        # check a Perfetto trace export
 //	go test -bench . -benchmem | acnbench -json -label post > bench.json
+//	acnbench -compare old.json new.json -maxregress 15   # CI regression gate
 //
 // With -http, harness-level metrics (experiments completed, per-experiment
 // wall time) are served for the duration of the run, alongside the expvar
@@ -25,6 +26,12 @@
 // With -json, acnbench runs no experiments: it reads `go test -bench`
 // output on stdin and writes the repo's BENCH_*.json baseline format to
 // stdout (see internal/stats.ParseGoBench).
+//
+// With -compare, acnbench reads two baseline files (as written by -json /
+// `make bench-baseline`), prints per-benchmark ns/op and allocs/op deltas,
+// and exits nonzero when any shared benchmark's ns/op regressed beyond
+// -maxregress percent. `make bench-compare OLD=a.json NEW=b.json` wraps it
+// as the perf-regression CI gate.
 package main
 
 import (
@@ -66,19 +73,27 @@ func serveMetrics(addr string, reg *obs.Registry) (string, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("acnbench", flag.ContinueOnError)
 	var (
-		runIDs   = fs.String("run", "", "comma-separated experiment IDs (default: all)")
-		seed     = fs.Int64("seed", 1, "deterministic seed")
-		quick    = fs.Bool("quick", false, "smaller sweeps")
-		list     = fs.Bool("list", false, "list experiment IDs and exit")
-		httpAddr = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
-		jsonOut  = fs.Bool("json", false, "convert `go test -bench` output on stdin to BENCH_*.json format on stdout")
-		label    = fs.String("label", "", "run label for -json output (e.g. pre, post, a git revision)")
-		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
-		valTrace = fs.String("validatetrace", "", "validate a trace-event JSON file (as written by acnsim -tracefile or /debug/acn/trace) and exit")
+		runIDs     = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		seed       = fs.Int64("seed", 1, "deterministic seed")
+		quick      = fs.Bool("quick", false, "smaller sweeps")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		httpAddr   = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		jsonOut    = fs.Bool("json", false, "convert `go test -bench` output on stdin to BENCH_*.json format on stdout")
+		label      = fs.String("label", "", "run label for -json output (e.g. pre, post, a git revision)")
+		cpuProf    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf    = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		valTrace   = fs.String("validatetrace", "", "validate a trace-event JSON file (as written by acnsim -tracefile or /debug/acn/trace) and exit")
+		compare    = fs.Bool("compare", false, "compare two BENCH_*.json baselines: acnbench -compare old.json new.json")
+		maxRegress = fs.Float64("maxregress", 10, "with -compare, fail when any shared benchmark's ns/op regresses by more than this percentage")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two files, got %d args", fs.NArg())
+		}
+		return compareBench(fs.Arg(0), fs.Arg(1), *maxRegress)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -186,6 +186,16 @@ func NewOn(w int, cut tree.Cut, tr transport.Transport, retry transport.RetryCon
 	if err := cut.Validate(w); err != nil {
 		return nil, err
 	}
+	// The retry client's correctness contract is at-most-once delivery: a
+	// reply that misses the retry deadline triggers a re-send, and without
+	// receiver-side dedup the re-executed handler double-counts the token
+	// (or re-freezes a component), permanently breaking the conservation
+	// invariant merges drain on. Only fabrics that can actually time out a
+	// delivered call need this — the ideal in-memory switch runs handlers
+	// inline and never retries, so taxing it with dedup would be waste.
+	if d, ok := tr.(transport.Redeliverer); ok && d.CanRedeliver() {
+		d.EnableDedup()
+	}
 	cl := &Cluster{
 		w:        w,
 		tr:       tr,

@@ -329,6 +329,25 @@ func TestCountingOverTCP(t *testing.T) {
 	}
 }
 
+// TestNewOnEnablesDedup pins the at-most-once wiring: NewOn must switch on
+// receiver-side dedup when the fabric can time out a delivered call
+// (transport.Redeliverer), because the retry client re-sends past its
+// deadline and a re-executed arrive handler double-counts the token — a
+// conservation break that wedges the next merge's drain phase forever.
+// (Observed as a rare TestCountingOverTCP hang under -race, where handler
+// latency can exceed the 25ms retry deadline.) The in-memory fabric is
+// deliberately exempt: its Send never times out, so retries cannot occur.
+func TestNewOnEnablesDedup(t *testing.T) {
+	w := 8
+	cl, tn := tcpCluster(t, w, tree.RootCut(), 0)
+	if _, err := cl.Inject(3); err != nil {
+		t.Fatal(err)
+	}
+	if tn.DedupEntries() == 0 {
+		t.Fatal("NewOn left receiver-side dedup off: retried calls would re-execute handlers")
+	}
+}
+
 // TestCountingUnderFaultyTCP is the E24 exactness property with tcpnet
 // substituted for the in-memory switch: loss, duplication and jitter on
 // top of a real socket, retries and receiver-side dedup underneath, and

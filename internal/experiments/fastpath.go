@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/estimate"
+	"repro/internal/transport"
+	"repro/internal/transport/tcpnet"
+	"repro/internal/tree"
+)
+
+// E30RPCFastPath measures the zero-alloc RPC fast path under sender
+// concurrency: the same token stream injected by 1..N concurrent senders
+// through the dist engine, over the in-process fabric and over TCP
+// loopback. Two effects should appear as senders grow. First, wall-clock
+// per token falls (or at least does not collapse) because concurrent
+// senders no longer serialize on per-call locks or goroutine churn —
+// replies demultiplex to pooled slots and inbound requests run on the
+// bounded handler pool. Second, on TCP the frames/write column rises
+// above 1.0: concurrent senders that collide on a connection have their
+// frames coalesced into single vectored writes, so the syscall count
+// grows sublinearly in the RPC count. Counting stays exact in every cell.
+func E30RPCFastPath(opts Options) (*Table, error) {
+	t := &Table{
+		ID:    "E30",
+		Title: "RPC fast path under concurrency (coalesced writes, pooled frames, bounded handlers)",
+		Claim: "concurrent senders amortize syscalls via write coalescing; the request path stays allocation-free and counting stays exact",
+		Headers: []string{"fabric", "senders", "tokens", "ms", "us/tok", "rpcs",
+			"us/rpc", "frames/write", "spills", "conserved"},
+	}
+	const (
+		w     = 1 << 10
+		nodes = 64
+	)
+	tokens := 2048
+	senders := []int{1, 2, 4, 8, 16}
+	if opts.Quick {
+		tokens = 512
+		senders = []int{1, 8}
+	}
+	level := estimate.IdealLevel(nodes, w)
+	cut, err := tree.UniformCut(w, level)
+	if err != nil {
+		return nil, err
+	}
+	retry := transport.RetryConfig{
+		Timeout:    50 * time.Millisecond,
+		MaxRetries: 8,
+		Backoff:    100 * time.Microsecond,
+		BackoffCap: 2 * time.Millisecond,
+	}
+
+	for _, fabric := range []string{"mem", "tcp"} {
+		for _, s := range senders {
+			var tr transport.Transport
+			var tn *tcpnet.Net
+			if fabric == "tcp" {
+				if tn, err = tcpnet.New(tcpnet.Config{}); err != nil {
+					return nil, err
+				}
+				if opts.Obs != nil {
+					tn.Instrument(opts.Obs)
+				}
+				tr = tn
+			} else {
+				tr = transport.NewMem()
+			}
+			cl, err := dist.NewOn(w, cut, tr, retry)
+			if err != nil {
+				return nil, err
+			}
+			ins := make([]int, tokens)
+			for i := range ins {
+				ins[i] = (i * 2654435761) % w
+			}
+			var preWS tcpnet.WireStats
+			if tn != nil {
+				preWS = tn.WireStats()
+			}
+			_, preCS := cl.NetStats()
+
+			// Each sender injects a disjoint contiguous share of the same
+			// arrival sequence; the union is identical in every cell, so
+			// the conservation check pins exactness under concurrency.
+			share := (tokens + s - 1) / s
+			var wg sync.WaitGroup
+			errCh := make(chan error, s)
+			start := time.Now()
+			for g := 0; g < s; g++ {
+				lo := g * share
+				hi := lo + share
+				if hi > tokens {
+					hi = tokens
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(part []int) {
+					defer wg.Done()
+					for _, in := range part {
+						if _, err := cl.Inject(in); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(ins[lo:hi])
+			}
+			wg.Wait()
+			ms := float64(time.Since(start).Nanoseconds()) / 1e6
+			select {
+			case err := <-errCh:
+				return nil, err
+			default:
+			}
+
+			_, postCS := cl.NetStats()
+			rpcs := postCS.Sub(preCS).Calls
+			usPerRPC := 0.0
+			if rpcs > 0 {
+				usPerRPC = ms * 1000 / float64(rpcs)
+			}
+			framesPerWrite := "-"
+			spills := "-"
+			if tn != nil {
+				ws := tn.WireStats()
+				if dw := ws.Writes - preWS.Writes; dw > 0 {
+					framesPerWrite = fmt.Sprintf("%.2f", float64(ws.Frames-preWS.Frames)/float64(dw))
+				}
+				spills = fmt.Sprintf("%d", ws.Spills-preWS.Spills)
+			}
+			conserved := cl.OutCounts().Total() == cl.InCounts().Total()
+			t.AddRow(fabric, s, tokens, ms, ms*1000/float64(tokens), rpcs,
+				usPerRPC, framesPerWrite, spills, conserved)
+			if tn != nil {
+				if err := tn.Close(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	t.Note("every cell injects the identical %d-token arrival sequence through the same cut (%d components at level %d), split across the senders, so conservation holds in all of them; the frames/write column only exceeds 1.0 when frames share a vectored syscall — senders colliding on a pooled connection fold their requests into one writev, and handler workers cork consecutive replies into one flush — while at senders=1 it pins to 1.00, the uncontended direct-write fast path", tokens, len(cut), level)
+	return t, nil
+}

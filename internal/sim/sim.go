@@ -46,6 +46,14 @@ type Config struct {
 	// and a stolen token occupies the thief for StealCost + ServiceTime.
 	// Zero reproduces the free-stealing behavior exactly. Must be >= 0.
 	StealCost float64
+	// StealHalf switches the steal policy from take-one to take-half: the
+	// thief migrates half the affine core's remaining backlog along with
+	// the triggering token, serving the moved work (plus one StealCost
+	// penalty) before the token. The steal decision accounts for the moved
+	// work — a thief must still start the token strictly earlier than the
+	// affine core would with its full backlog. False keeps the
+	// one-token-steal behavior bit-identical.
+	StealHalf bool
 	// LinkDelay is the one-way latency of a component-to-component wire.
 	LinkDelay float64
 	// ArrivalRate is the Poisson token arrival rate (tokens per time unit).
@@ -246,20 +254,32 @@ func (s *Sim) arriveAtComp(tok *token, comp tree.Component) {
 	core := &node.cores[s.core[comp.Path]]
 	cost := 0.0
 	if len(node.cores) > 1 && core.busyUntil > s.now {
+		// Under StealHalf the thief also takes half the affine core's
+		// remaining backlog, so the moved work delays the thief's start for
+		// this token; a steal must win despite it. Tokens already scheduled
+		// inside the moved window keep their completion times — the
+		// migration's effect is on subsequent arrivals, which see both
+		// queues' lengths changed.
+		moved := 0.0
+		if s.cfg.StealHalf {
+			moved = (core.busyUntil - s.now) / 2
+		}
 		best, bestEff := core, core.busyUntil
 		for i := range node.cores {
 			c := &node.cores[i]
 			eff := c.busyUntil
 			if c != core {
-				eff += s.cfg.StealCost
+				eff += s.cfg.StealCost + moved
 			}
 			if eff < bestEff {
 				best, bestEff = c, eff
 			}
 		}
 		if best != core {
+			core.busyUntil -= moved
+			core.busyTotal -= moved
 			core = best
-			cost = s.cfg.StealCost
+			cost = s.cfg.StealCost + moved
 			s.steals++
 		}
 	}

@@ -404,3 +404,46 @@ func TestStealCostValidation(t *testing.T) {
 		t.Fatal("negative StealCost accepted")
 	}
 }
+
+// TestStealHalf: the take-half policy conserves tokens and the step
+// property, replays deterministically, needs fewer steal events than
+// take-one (each migration moves more work, so backlogs trigger fewer
+// of them), and is inert when there is nothing to steal. The default-off
+// bit-identity to take-one is pinned by TestStealCostZeroExact's golden
+// values, which predate the policy.
+func TestStealHalf(t *testing.T) {
+	cfg := stealBase(t)
+	cfg.StealCost = 0.5
+	one := runSteal(t, cfg)
+	cfg.StealHalf = true
+	half := runSteal(t, cfg)
+	if half.Completed != cfg.Tokens {
+		t.Fatalf("StealHalf lost tokens: %d of %d", half.Completed, cfg.Tokens)
+	}
+	if !balancer.Seq(half.Out).HasStep() {
+		t.Fatalf("StealHalf broke the step property: %v", half.Out)
+	}
+	if half.Steals == 0 {
+		t.Fatal("StealHalf never stole under a saturating load")
+	}
+	if half.Steals >= one.Steals {
+		t.Fatalf("take-half stole %d times, take-one %d: moving half a backlog should need fewer migrations", half.Steals, one.Steals)
+	}
+	if half.MaxNodeBusy > 1 {
+		t.Fatalf("StealHalf broke work conservation: max node utilization %v > 1", half.MaxNodeBusy)
+	}
+	if again := runSteal(t, cfg); again.Makespan != half.Makespan || again.Steals != half.Steals ||
+		again.LatencyMean != half.LatencyMean {
+		t.Fatalf("StealHalf runs diverged: %+v vs %+v", again, half)
+	}
+
+	// With one core per node there is never a thief, so the policy is inert.
+	cfg.CoresPerNode = 1
+	cfg.StealHalf = false
+	a := runSteal(t, cfg)
+	cfg.StealHalf = true
+	b := runSteal(t, cfg)
+	if a.Makespan != b.Makespan || a.LatencyMean != b.LatencyMean || b.Steals != 0 {
+		t.Fatalf("StealHalf changed a single-core run: %+v vs %+v", a, b)
+	}
+}

@@ -125,3 +125,19 @@ func WriteBenchJSON(w io.Writer, runs []BenchRun) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(runs)
 }
+
+// ReadBenchJSON reads a BENCH_*.json baseline file (the WriteBenchJSON
+// format) back into runs. Trailing data after the array is an error, so a
+// concatenation of two files is caught rather than half-read.
+func ReadBenchJSON(r io.Reader) ([]BenchRun, error) {
+	dec := json.NewDecoder(r)
+	var runs []BenchRun
+	if err := dec.Decode(&runs); err != nil {
+		return nil, fmt.Errorf("stats: bench json: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("stats: bench json: trailing data after runs array")
+	}
+	return runs, nil
+}

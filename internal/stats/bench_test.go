@@ -95,3 +95,34 @@ func TestWriteBenchJSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestReadBenchJSON(t *testing.T) {
+	run, err := ParseGoBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Label = "pre"
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, []BenchRun{run}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Label != "pre" || len(back[0].Results) != len(run.Results) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back[0].Results[0] != run.Results[0] {
+		t.Fatalf("result changed: %+v != %+v", back[0].Results[0], run.Results[0])
+	}
+
+	if _, err := ReadBenchJSON(strings.NewReader("{}")); err == nil {
+		t.Fatal("non-array JSON accepted")
+	}
+	// Two concatenated files must be rejected, not half-read.
+	double := buf.String() + buf.String()
+	if _, err := ReadBenchJSON(strings.NewReader(double)); err == nil {
+		t.Fatal("concatenated baseline files accepted")
+	}
+}

@@ -3,7 +3,6 @@ package transport
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -76,34 +75,48 @@ func (s ClientStats) Sub(prev ClientStats) ClientStats {
 // at-most-once while the wire sees at-least-once attempts.
 //
 // A Client is safe for concurrent use; calls from concurrent goroutines
-// proceed independently.
+// proceed independently — the hot path is lock-free (atomic counters and
+// an atomically-swapped handle set), so concurrent senders do not
+// serialize on a stats mutex.
 type Client struct {
 	tr  Transport
 	cfg RetryConfig
 
-	next  atomic.Uint64
-	mu    sync.Mutex
-	stats ClientStats
+	next     atomic.Uint64
+	calls    atomic.Uint64
+	retries  atomic.Uint64
+	timeouts atomic.Uint64
+	failures atomic.Uint64
 
-	// Observability handles (nil when uninstrumented); set by Instrument
-	// and read under mu at the top of each Call.
-	obsRTT      *obs.Hist // per-logical-call wall seconds (including retries)
-	obsBackoff  *obs.Hist // backoff sleeps before retries, seconds
-	obsAttempts *obs.Hist // attempts per call (1 = first try succeeded)
+	// Observability handles, swapped in atomically by Instrument; nil when
+	// uninstrumented (the obs types no-op on nil receivers).
+	instr atomic.Pointer[clientInstruments]
 }
 
+// clientInstruments bundles the client's obs handles so they install
+// atomically.
+type clientInstruments struct {
+	rtt      *obs.Hist // per-logical-call wall seconds (including retries)
+	backoff  *obs.Hist // backoff sleeps before retries, seconds
+	attempts *obs.Hist // attempts per call (1 = first try succeeded)
+}
+
+// noClientInstr is the uninstrumented handle set: all nil, all no-ops.
+var noClientInstr = &clientInstruments{}
+
 // Instrument routes the client's reliability distributions — per-call
-// round-trip time, retry backoff, and attempts-per-call — into reg. Call
-// it before issuing traffic; instrumenting mid-call is racy.
+// round-trip time, retry backoff, and attempts-per-call — into reg. The
+// handle set installs atomically, so instrumenting while traffic flows is
+// safe (calls already in flight keep the previous handles).
 func (c *Client) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.obsRTT = reg.Histogram("transport.call.seconds", 0, 0.02, 400)
-	c.obsBackoff = reg.Histogram("transport.retry.backoff.seconds", 0, 0.01, 200)
-	c.obsAttempts = reg.Histogram("transport.call.attempts", 0, 20, 20)
+	c.instr.Store(&clientInstruments{
+		rtt:      reg.Histogram("transport.call.seconds", 0, 0.02, 400),
+		backoff:  reg.Histogram("transport.retry.backoff.seconds", 0, 0.01, 200),
+		attempts: reg.Histogram("transport.call.attempts", 0, 20, 20),
+	})
 }
 
 // NewClient creates a reliability client over tr. Zero RetryConfig fields
@@ -128,12 +141,13 @@ func (c *Client) Call(from, to Addr, kind string, body any) (any, error) {
 // reliability work its messages cost.
 func (c *Client) CallSpan(from, to Addr, kind string, body any, sp *obs.Span) (any, error) {
 	req := Request{ID: c.next.Add(1), From: from, To: to, Kind: kind, Trace: sp.Context(), Body: body}
-	c.mu.Lock()
-	c.stats.Calls++
-	rtt, backoffH, attemptsH := c.obsRTT, c.obsBackoff, c.obsAttempts
-	c.mu.Unlock()
+	c.calls.Add(1)
+	ins := c.instr.Load()
+	if ins == nil {
+		ins = noClientInstr
+	}
 	var start time.Time
-	if rtt != nil {
+	if ins.rtt != nil {
 		start = time.Now()
 	}
 
@@ -141,28 +155,22 @@ func (c *Client) CallSpan(from, to Addr, kind string, body any, sp *obs.Span) (a
 	for attempt := 0; ; attempt++ {
 		reply, err := c.tr.Send(req, c.cfg.Timeout)
 		if err == nil || !errors.Is(err, ErrTimeout) {
-			attemptsH.Observe(float64(attempt + 1))
-			rtt.Since(start)
+			ins.attempts.Observe(float64(attempt + 1))
+			ins.rtt.Since(start)
 			return reply, err
 		}
-		c.mu.Lock()
-		c.stats.Timeouts++
-		exhausted := attempt >= c.cfg.MaxRetries
-		if !exhausted {
-			c.stats.Retries++
-		} else {
-			c.stats.Failures++
-		}
-		c.mu.Unlock()
-		if exhausted {
-			attemptsH.Observe(float64(attempt + 1))
+		c.timeouts.Add(1)
+		if attempt >= c.cfg.MaxRetries {
+			c.failures.Add(1)
+			ins.attempts.Observe(float64(attempt + 1))
 			return nil, fmt.Errorf("transport: call %q to %q failed after %d attempts: %w",
 				kind, to, attempt+1, err)
 		}
+		c.retries.Add(1)
 		if sp != nil {
 			sp.Event("retry", kind+" to "+string(to), int64(attempt+1))
 		}
-		backoffH.ObserveDuration(backoff)
+		ins.backoff.ObserveDuration(backoff)
 		time.Sleep(backoff)
 		if backoff *= 2; backoff > c.cfg.BackoffCap {
 			backoff = c.cfg.BackoffCap
@@ -172,7 +180,10 @@ func (c *Client) CallSpan(from, to Addr, kind string, body any, sp *obs.Span) (a
 
 // Stats returns a snapshot of the client counters.
 func (c *Client) Stats() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ClientStats{
+		Calls:    c.calls.Load(),
+		Retries:  c.retries.Load(),
+		Timeouts: c.timeouts.Load(),
+		Failures: c.failures.Load(),
+	}
 }

@@ -36,11 +36,16 @@ type dedupShard struct {
 	head int
 }
 
-// call is one executed (or executing) request.
+// call is one executed (or executing) request. All fields are guarded by
+// the owning stripe's mutex; done is created lazily by the first duplicate
+// that arrives mid-execution (the overwhelmingly common case — no
+// duplicate at all — never pays for the channel), and waiters read
+// reply/err only after its close, which the close itself orders.
 type call struct {
-	done  chan struct{}
-	reply any
-	err   error
+	done      chan struct{} // nil until a duplicate needs to wait
+	completed bool
+	reply     any
+	err       error
 }
 
 // DedupTable is a striped receiver-side at-most-once cache: each endpoint
@@ -95,21 +100,35 @@ func (t *DedupTable) Do(id uint64, fn func() (any, error)) (reply any, err error
 	sh := t.shard(id)
 	sh.mu.Lock()
 	if c, ok := sh.calls[id]; ok {
+		if c.completed {
+			reply, err = c.reply, c.err
+			sh.mu.Unlock()
+			sh.hits.Add(1)
+			return reply, err, true
+		}
+		if c.done == nil {
+			c.done = make(chan struct{})
+		}
+		done := c.done
 		sh.mu.Unlock()
 		sh.hits.Add(1)
-		<-c.done
+		<-done
 		return c.reply, c.err, true
 	}
-	c := &call{done: make(chan struct{})}
+	c := &call{}
 	sh.calls[id] = c
 	sh.mu.Unlock()
 
-	c.reply, c.err = fn()
-	close(c.done)
+	reply, err = fn()
 
 	// Retire: the completed ID joins the ring; past the cap, the oldest
 	// completed entry (never an in-flight one) leaves the cache.
 	sh.mu.Lock()
+	c.reply, c.err = reply, err
+	c.completed = true
+	if c.done != nil {
+		close(c.done)
+	}
 	sh.done = append(sh.done, id)
 	for len(sh.done)-sh.head > t.capShard {
 		delete(sh.calls, sh.done[sh.head])
@@ -123,7 +142,7 @@ func (t *DedupTable) Do(id uint64, fn func() (any, error)) (reply any, err error
 		sh.head = 0
 	}
 	sh.mu.Unlock()
-	return c.reply, c.err, false
+	return reply, err, false
 }
 
 // Len returns the number of cached calls (in-flight plus completed but not
@@ -162,4 +181,19 @@ func (t *DedupTable) Hits() uint64 {
 // request IDs.
 type Deduper interface {
 	EnableDedup()
+}
+
+// Redeliverer is implemented by fabrics whose Send can return ErrTimeout
+// for a request that was nevertheless delivered — a real socket where the
+// reply is merely late. On such a fabric the retry client's re-sends reach
+// the handler a second time, so any reliability layer built over it must
+// EnableDedup to keep handler effects at-most-once. The ideal in-memory
+// switch deliberately does not implement this: its Send runs the handler
+// inline and never times out, so retries cannot occur and dedup there
+// would be pure per-call overhead.
+type Redeliverer interface {
+	Deduper
+	// CanRedeliver reports whether a timed-out call may still have been
+	// executed (and a retry would execute it again).
+	CanRedeliver() bool
 }

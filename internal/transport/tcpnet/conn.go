@@ -16,18 +16,47 @@ import (
 // reading cannot wedge a handler goroutine forever.
 const replyWriteTimeout = 5 * time.Second
 
+// flushWriteTimeout bounds one coalesced queue flush. Queued frames come
+// from callers with heterogeneous deadlines, so the flush uses a single
+// generous bound; a caller whose own deadline is tighter times out on its
+// reply channel as usual.
+const flushWriteTimeout = 5 * time.Second
+
+// outFrame is one framed message awaiting transmission. b is the wire
+// bytes; enc, when non-nil, is the pooled encoder whose buffer backs b,
+// returned to the pool by whoever writes (or abandons) the frame.
+type outFrame struct {
+	enc *wire.Encoder
+	b   []byte
+}
+
 // conn is one TCP connection, usable in both roles at once: the read loop
 // dispatches reply frames to this side's pending calls and serves request
-// frames with this side's handlers. Writes (request and reply frames
-// alike) serialize on wmu so frames never interleave.
+// frames with this side's handlers.
+//
+// Writes go through a coalescing queue: the first sender claims the write
+// token and writes its frame directly (the uncontended fast path is one
+// syscall, no handoff), then drains whatever frames other senders appended
+// while it held the token — each drain round is ONE vectored write
+// (net.Buffers / writev) covering the whole batch, so under contention the
+// syscall count amortizes across senders instead of serializing them.
 type conn struct {
 	n *Net
 	c net.Conn
 
-	wmu sync.Mutex
+	qmu     sync.Mutex
+	writing bool       // a sender holds the write token and will drain
+	queue   []outFrame // frames awaiting the holder's next drain round
+	spare   []outFrame // previous batch slice, recycled to swap with queue
+	iov     net.Buffers
+	// iovw is the working copy WriteTo consumes each drain round. It is a
+	// field, not a local, because WriteTo's pointer receiver would force a
+	// local slice header to escape — one heap allocation per flush.
+	iovw net.Buffers
 
 	pmu     sync.Mutex
 	pending map[uint64]chan *wire.Reply
+	pdead   bool // die ran; no new pending entries may be added
 	nextMux atomic.Uint64
 
 	dead     chan struct{}
@@ -61,12 +90,23 @@ func (cn *conn) start() {
 	go cn.readLoop()
 }
 
-// die closes the connection once: socket closed, pending callers released
-// via the dead channel, pool membership retired.
+// die closes the connection once: socket closed, every pending caller
+// released with a nil deposit, pool membership retired. Depositing (rather
+// than broadcasting on a channel) keeps the slot ownership protocol
+// uniform: whoever deletes a pending entry deposits exactly once, so the
+// reply channels are provably empty when they return to the pool.
 func (cn *conn) die() {
 	cn.dieOnce.Do(func() {
 		close(cn.dead)
 		_ = cn.c.Close()
+		cn.pmu.Lock()
+		cn.pdead = true
+		pend := cn.pending
+		cn.pending = nil
+		cn.pmu.Unlock()
+		for _, ch := range pend {
+			ch <- nil // buffered and empty: entry present means no deposit yet
+		}
 		cn.n.connsOpen.Add(-1)
 		cn.ins.gConn.Add(-1)
 		if cn.retireFn != nil {
@@ -75,37 +115,186 @@ func (cn *conn) die() {
 	})
 }
 
-func (cn *conn) addPending(mux uint64, ch chan *wire.Reply) {
+// addPending registers a reply waiter. It reports false when the conn has
+// already died — the caller's reply can never arrive, and die's sweep has
+// already passed, so registering would leak the slot.
+func (cn *conn) addPending(mux uint64, ch chan *wire.Reply) bool {
 	cn.pmu.Lock()
+	if cn.pdead {
+		cn.pmu.Unlock()
+		return false
+	}
 	cn.pending[mux] = ch
 	cn.pmu.Unlock()
+	return true
 }
 
-func (cn *conn) removePending(mux uint64) {
+// takePending removes and returns mux's waiter, or nil when another party
+// (die, or the waiter itself reclaiming on timeout) already took it.
+// Whoever takes the entry owes its channel exactly one deposit — except
+// the owning Send reclaiming its own slot, which deposits nothing.
+func (cn *conn) takePending(mux uint64) chan *wire.Reply {
 	cn.pmu.Lock()
+	ch := cn.pending[mux]
 	delete(cn.pending, mux)
 	cn.pmu.Unlock()
+	return ch
 }
 
-// write sends one pre-framed message with a deadline. A failed write kills
-// the connection: frame boundaries cannot be trusted after a partial
-// write.
-func (cn *conn) write(frame []byte, timeout time.Duration) error {
-	cn.wmu.Lock()
-	defer cn.wmu.Unlock()
-	if timeout > 0 {
-		_ = cn.c.SetWriteDeadline(time.Now().Add(timeout))
+// reclaim returns a Send's reply slot to the pool after a timeout or write
+// failure. If the entry is still in the map nobody deposited, so the
+// channel is empty and pools as-is; otherwise a deposit happened (or is
+// nanoseconds away), so consume it first — the channel must be provably
+// empty before reuse.
+func (cn *conn) reclaim(mux uint64, ch chan *wire.Reply) {
+	if cn.takePending(mux) != nil {
+		callSlots.Put(ch)
+		return
 	}
-	_, err := cn.c.Write(frame)
-	if err != nil {
-		cn.die()
+	if rep := <-ch; rep != nil {
+		replies.Put(rep)
 	}
+	callSlots.Put(ch)
+}
+
+// send transmits one framed message, taking ownership of of.enc (returned
+// to the encoder pool once the bytes are on the wire or abandoned).
+// Uncontended, it writes directly under the caller's deadline; when
+// another sender holds the write token it enqueues instead and returns nil
+// — a later flush failure kills the conn, which releases the caller via
+// its pending slot, so per-frame write errors are not reported from here.
+func (cn *conn) send(of outFrame, timeout time.Duration) error {
+	cn.qmu.Lock()
+	if cn.writing {
+		cn.queue = append(cn.queue, of)
+		depth := len(cn.queue)
+		cn.qmu.Unlock()
+		cn.n.ins().gQueue.Set(int64(depth))
+		return nil
+	}
+	cn.writing = true
+	cn.qmu.Unlock()
+	err := cn.write(of.b, timeout)
+	if of.enc != nil {
+		putEncoder(of.enc)
+	}
+	cn.drain()
 	return err
 }
 
+// sendCorked enqueues of without claiming the write token: the corking
+// handler worker batches consecutive replies into one flush instead of
+// paying a write syscall each. It reports whether the caller now owes the
+// conn a flushCorked — true when no writer held the token, so nobody else
+// is guaranteed to drain the queue.
+func (cn *conn) sendCorked(of outFrame) bool {
+	cn.qmu.Lock()
+	cn.queue = append(cn.queue, of)
+	depth := len(cn.queue)
+	owed := !cn.writing
+	cn.qmu.Unlock()
+	cn.n.ins().gQueue.Set(int64(depth))
+	return owed
+}
+
+// flushCorked claims the write token if it is free and drains the queue.
+// If a writer took over since the cork, the queue is already theirs (drain
+// releases the token only after finding the queue empty), so there is
+// nothing left to owe.
+func (cn *conn) flushCorked() {
+	cn.qmu.Lock()
+	if cn.writing || len(cn.queue) == 0 {
+		cn.qmu.Unlock()
+		return
+	}
+	cn.writing = true
+	cn.qmu.Unlock()
+	cn.drain()
+}
+
+// drain flushes the coalescing queue until it is empty, then releases the
+// write token. Each round is one vectored write for the whole batch. A
+// failed flush kills the conn but keeps draining: writes on the dead
+// socket fail fast, and every queued frame's encoder still returns to the
+// pool.
+func (cn *conn) drain() {
+	for {
+		cn.qmu.Lock()
+		if len(cn.queue) == 0 {
+			cn.writing = false
+			cn.qmu.Unlock()
+			return
+		}
+		batch := cn.queue
+		cn.queue = cn.spare[:0]
+		cn.spare = batch
+		iov := cn.iov[:0]
+		cn.qmu.Unlock()
+
+		total := 0
+		for _, of := range batch {
+			iov = append(iov, of.b)
+			total += len(of.b)
+		}
+		cn.iov = iov // keep the grown backing array; WriteTo consumes iovw
+		cn.iovw = iov
+		cn.setWriteDeadline(flushWriteTimeout)
+		if _, err := cn.iovw.WriteTo(cn.c); err != nil {
+			cn.die()
+		} else {
+			cn.wrote(total, len(batch))
+		}
+		ins := cn.n.ins()
+		ins.hFlush.Observe(float64(len(batch)))
+		ins.gQueue.Set(0)
+		for _, of := range batch {
+			if of.enc != nil {
+				putEncoder(of.enc)
+			}
+		}
+	}
+}
+
+// write sends one pre-framed message under the write token with the
+// caller's deadline. A failed write kills the connection: frame boundaries
+// cannot be trusted after a partial write.
+func (cn *conn) write(frame []byte, timeout time.Duration) error {
+	cn.setWriteDeadline(timeout)
+	if _, err := cn.c.Write(frame); err != nil {
+		cn.die()
+		return err
+	}
+	cn.wrote(len(frame), 1)
+	return nil
+}
+
+// setWriteDeadline applies timeout as an absolute write deadline, and —
+// crucially — clears any previous deadline when timeout is not positive:
+// deadlines are connection state, not per-write state, so an unbounded
+// write after a bounded one must reset it or inherit a stale (possibly
+// already-expired) deadline.
+func (cn *conn) setWriteDeadline(timeout time.Duration) {
+	if timeout > 0 {
+		_ = cn.c.SetWriteDeadline(time.Now().Add(timeout))
+	} else {
+		_ = cn.c.SetWriteDeadline(time.Time{})
+	}
+}
+
+// wrote records one write syscall carrying frames messages of bytes total.
+func (cn *conn) wrote(bytes, frames int) {
+	cn.n.bytesOut.Add(uint64(bytes))
+	cn.n.writes.Add(1)
+	cn.n.frames.Add(uint64(frames))
+	cn.n.ins().cOut.Add(uint64(bytes))
+}
+
 // readLoop decodes frames until the connection dies. Replies release their
-// pending callers; requests are served on fresh goroutines so one slow
-// handler never blocks the demultiplexer.
+// pending callers; requests go to the bounded handler pool (spilling to
+// fresh goroutines past its queue, so one slow handler never blocks the
+// demultiplexer). Decoded envelopes come from and return to the message
+// pools: the read loop hands each reply payload's decoded form to exactly
+// one consumer, which recycles it.
 func (cn *conn) readLoop() {
 	defer cn.n.loops.Done()
 	defer cn.die()
@@ -114,7 +303,7 @@ func (cn *conn) readLoop() {
 	for {
 		payload, err := wire.ReadFrame(br, buf)
 		if err != nil {
-			return // conn closed or broken; pending callers see cn.dead
+			return // conn closed or broken; pending callers released by die
 		}
 		buf = payload[:0]
 		ins := cn.n.ins()
@@ -125,70 +314,191 @@ func (cn *conn) readLoop() {
 		if ins.hDec != nil {
 			decStart = time.Now()
 		}
-		msg, err := wire.DecodeFrame(payload)
-		ins.hDec.Since(decStart)
-		if err != nil {
-			// A frame that does not decode poisons the stream's framing
-			// trust; drop the connection and let senders retry elsewhere.
-			return
-		}
-		switch m := msg.(type) {
-		case *wire.Reply:
-			cn.pmu.Lock()
-			ch := cn.pending[m.Mux]
-			delete(cn.pending, m.Mux)
-			cn.pmu.Unlock()
-			if ch != nil {
-				ch <- m // buffered; a timed-out caller just never reads it
+		if wire.IsReply(payload) {
+			rep := replies.Get().(*wire.Reply)
+			err := wire.DecodeReplyFrame(payload, rep)
+			ins.hDec.Since(decStart)
+			if err != nil {
+				// A frame that does not decode poisons the stream's framing
+				// trust; drop the connection and let senders retry elsewhere.
+				replies.Put(rep)
+				return
 			}
-		case *wire.Request:
-			cn.n.serveRequest(cn, m)
+			if ch := cn.takePending(rep.Mux); ch != nil {
+				ch <- rep // buffered; the waiter recycles rep after reading it
+			} else {
+				replies.Put(rep) // caller timed out and reclaimed the slot
+			}
+		} else {
+			req := requests.Get().(*wire.Request)
+			err := wire.DecodeRequestFrame(payload, req)
+			ins.hDec.Since(decStart)
+			if err != nil {
+				requests.Put(req)
+				return
+			}
+			cn.n.serveRequest(cn, req)
 		}
 	}
 }
 
-// serveRequest runs one inbound request on its own goroutine and writes
-// the reply frame back on the same connection. Requests arriving after
-// Close has begun are dropped (the peer's retry will fail on the closed
-// listener), which is what lets Close wait for a quiesced in-flight set.
-func (n *Net) serveRequest(c *conn, wreq *wire.Request) {
+// serveRequest routes one inbound request to the handler worker pool.
+// Requests arriving after Close has begun are dropped (the peer's retry
+// will fail on the closed listener), which is what lets Close wait for a
+// quiesced in-flight set. When the pool's queue is full — every worker
+// stuck in a slow handler — the request spills to a fresh goroutine: the
+// pool bounds goroutine churn in the common case, the spillover preserves
+// the old goroutine-per-request liveness guarantee in the worst case.
+func (n *Net) serveRequest(cn *conn, wreq *wire.Request) {
 	n.flightMu.Lock()
 	if n.closed.Load() {
 		n.flightMu.Unlock()
+		requests.Put(wreq)
 		return
 	}
 	n.inflight.Add(1)
-	n.flightMu.Unlock()
-	go func() {
-		defer n.inflight.Done()
-		status, body, errText := n.dispatch(wreq.Req)
+	t := srvTask{cn: cn, req: wreq}
+	select {
+	case n.work <- t:
+		n.flightMu.Unlock()
+	default:
+		n.flightMu.Unlock()
+		n.spills.Add(1)
+		go n.serveTask(t)
+	}
+}
 
-		codec, _ := wire.ByKind(wreq.Req.Kind)
-		enc := encoders.Get().(*wire.Encoder)
-		defer func() { enc.Reset(); encoders.Put(enc) }()
-		enc.Reset()
-		ins := n.ins()
-		var encStart time.Time
-		if ins.hEnc != nil {
-			encStart = time.Now()
+// srvTask is one inbound request bound to the connection its reply goes
+// back on.
+type srvTask struct {
+	cn  *conn
+	req *wire.Request
+}
+
+// corkBurst bounds how many replies a handler worker corks before it must
+// flush, and corkBudget bounds how long the oldest corked reply may wait
+// (checked between tasks — a running handler cannot be preempted, so the
+// true bound is one handler duration past the budget). Together they keep
+// reply latency tight while consecutive fast handlers share flushes.
+const (
+	corkBurst  = 32
+	corkBudget = 100 * time.Microsecond
+)
+
+// handlerLoop is one worker in the bounded handler pool. It exits when
+// Close closes the work channel, after draining it.
+//
+// The loop corks replies: each task's reply frame is queued on its
+// connection without an immediate write, and the worker flushes every
+// corked connection before it would block for more work, when corkBurst
+// replies accumulate, or when corkBudget expires. Back-to-back requests — the
+// shape a loaded server actually sees — then share one vectored write
+// syscall per connection per burst instead of paying one syscall per
+// reply. A task's in-flight count is released only after its reply is
+// flushed, so Close's drain still guarantees replies hit the wire before
+// the connections die.
+func (n *Net) handlerLoop() {
+	defer n.loops.Done()
+	var (
+		corked []*conn // conns owed a flush, deduped, in cork order
+		owed   int     // tasks whose inflight release awaits the flush
+		first  time.Time
+	)
+	flush := func() {
+		for i, cn := range corked {
+			cn.flushCorked()
+			corked[i] = nil
 		}
-		if err := wire.EncodeReply(enc, wreq.Mux, codec.Code, status, body, errText); err != nil {
-			// The handler returned a reply the codec cannot carry; degrade
-			// to an application error so the caller is not left to time
-			// out.
-			enc.Reset()
-			_ = wire.EncodeReply(enc, wreq.Mux, codec.Code, wire.ReplyBadRequest, nil, err.Error())
+		corked = corked[:0]
+		if owed > 0 {
+			n.inflight.Add(-owed)
+			owed = 0
 		}
-		frame, err := wire.AppendFrame(nil, enc.Bytes())
-		ins.hEnc.Since(encStart)
-		if err != nil {
+	}
+	for {
+		var t srvTask
+		var live bool
+		select {
+		case t, live = <-n.work:
+		default:
+			// Nothing immediately available: flush before blocking, so a
+			// corked reply can never wait on traffic that may go to
+			// another worker.
+			flush()
+			t, live = <-n.work
+		}
+		if !live {
+			flush()
 			return
 		}
-		if c.write(frame, replyWriteTimeout) == nil {
-			n.bytesOut.Add(uint64(len(frame)))
-			ins.cOut.Add(uint64(len(frame)))
+		cn := t.cn
+		if of, ok := n.buildReply(t); ok {
+			if cn.sendCorked(of) && !corkedHas(corked, cn) {
+				if len(corked) == 0 {
+					first = time.Now()
+				}
+				corked = append(corked, cn)
+			}
 		}
-	}()
+		owed++
+		if owed >= corkBurst || (len(corked) > 0 && time.Since(first) > corkBudget) {
+			flush()
+		}
+	}
+}
+
+// corkedHas reports whether cn is already in the worker's corked set (a
+// handful of entries at most — workers talk to few conns per burst).
+func corkedHas(corked []*conn, cn *conn) bool {
+	for _, c := range corked {
+		if c == cn {
+			return true
+		}
+	}
+	return false
+}
+
+// serveTask runs one inbound request and sends the reply immediately —
+// the spillover path, where no worker continuation exists to cork
+// against. The reply frame still rides the connection's coalescing queue
+// like any other write.
+func (n *Net) serveTask(t srvTask) {
+	defer n.inflight.Done()
+	if of, ok := n.buildReply(t); ok {
+		_ = t.cn.send(of, replyWriteTimeout)
+	}
+}
+
+// buildReply dispatches one inbound request and encodes its reply frame.
+// The pooled request is recycled as soon as its fields are consumed. ok is
+// false only when the reply cannot be framed at all.
+func (n *Net) buildReply(t srvTask) (of outFrame, ok bool) {
+	status, body, errText := n.dispatch(t.req.Req)
+	mux := t.req.Mux
+	codec, _ := wire.ByKind(t.req.Req.Kind)
+	requests.Put(t.req)
+
+	ins := n.ins()
+	var encStart time.Time
+	if ins.hEnc != nil {
+		encStart = time.Now()
+	}
+	enc := getEncoder()
+	enc.Pad(wire.FrameOverhead)
+	if err := wire.EncodeReply(enc, mux, codec.Code, status, body, errText); err != nil {
+		// The handler returned a reply the codec cannot carry; degrade to an
+		// application error so the caller is not left to time out.
+		enc.Reset()
+		enc.Pad(wire.FrameOverhead)
+		_ = wire.EncodeReply(enc, mux, codec.Code, wire.ReplyBadRequest, nil, err.Error())
+	}
+	frame, err := wire.FinishFrame(enc.Bytes())
+	ins.hEnc.Since(encStart)
+	if err != nil {
+		putEncoder(enc)
+		return outFrame{}, false
+	}
+	return outFrame{enc: enc, b: frame}, true
 }
 
 // dispatch executes a request against the local endpoint table, applying
@@ -200,35 +510,41 @@ func (n *Net) dispatch(req transport.Request) (wire.ReplyStatus, any, string) {
 	if ep == nil {
 		return wire.ReplyUnreachable, nil, string(req.To)
 	}
-	run := func() (any, error) {
-		n.delivered.Add(1)
-		o := n.rpc.Load()
-		if o == nil {
-			return ep.h(req)
-		}
-		// The child span ends (and lands in the tracer ring) before the
-		// reply frame is written, so once a caller's Send returns, every
-		// server-side span of that call is already retained.
-		sp, start := o.Begin(req.Kind, req.Trace)
-		reply, err := ep.h(req)
-		o.End(req.Kind, string(req.To), sp, start, err)
-		return reply, err
-	}
 	var reply any
 	var err error
 	if tbl := ep.dedup.Load(); tbl != nil {
 		var hit bool
-		reply, err, hit = tbl.Do(req.ID, run)
+		reply, err, hit = tbl.Do(req.ID, func() (any, error) { return n.runHandler(ep, req) })
 		if hit {
 			n.dedupHits.Add(1)
 		}
 	} else {
-		reply, err = run()
+		// No dedup: call the handler directly, without the closure the
+		// dedup path needs — the unsampled undeduped request path must not
+		// allocate.
+		reply, err = n.runHandler(ep, req)
 	}
 	if err != nil {
 		return wire.ReplyAppError, nil, err.Error()
 	}
 	return wire.ReplyOK, reply, ""
+}
+
+// runHandler invokes an endpoint's handler under the RPC observer, when
+// one is installed.
+func (n *Net) runHandler(ep *endpoint, req transport.Request) (any, error) {
+	n.delivered.Add(1)
+	o := n.rpc.Load()
+	if o == nil {
+		return ep.h(req)
+	}
+	// The child span ends (and lands in the tracer ring) before the
+	// reply frame is written, so once a caller's Send returns, every
+	// server-side span of that call is already retained.
+	sp, start := o.Begin(req.Kind, req.Trace)
+	reply, err := ep.h(req)
+	o.End(req.Kind, string(req.To), sp, start, err)
+	return reply, err
 }
 
 // acceptLoop serves inbound connections until the listener closes.
@@ -250,7 +566,8 @@ func (n *Net) acceptLoop() {
 }
 
 // setNoDelay disables Nagle: the fabric's messages are small
-// request/reply frames where coalescing delay is pure latency.
+// request/reply frames where coalescing delay is pure latency (the write
+// coalescer already batches at the sender where it can).
 func setNoDelay(c net.Conn) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)

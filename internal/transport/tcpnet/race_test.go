@@ -1,0 +1,10 @@
+//go:build race
+
+package tcpnet
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which disables the allocation optimizations the zero-alloc
+// budget depends on (zero-copy map lookups, escape analysis around
+// vectored writes). Allocation-count pins skip under race; the -race pass
+// still exercises the same code paths for data races.
+const raceEnabled = true

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -63,6 +64,15 @@ type Config struct {
 	// DialAttempts is the number of dial tries per Send before giving up
 	// with ErrUnreachable. 0 means 3.
 	DialAttempts int
+	// Handlers is the size of the bounded worker pool serving inbound
+	// requests. 0 means max(4, GOMAXPROCS). Requests arriving when every
+	// worker is busy and the queue is full spill to fresh goroutines, so
+	// slow handlers degrade to goroutine-per-request instead of wedging
+	// the connection read loops.
+	Handlers int
+	// HandlerQueue is the buffered depth of the worker pool's queue. 0
+	// means 4x Handlers.
+	HandlerQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +91,15 @@ func (c Config) withDefaults() Config {
 	if c.DialAttempts <= 0 {
 		c.DialAttempts = 3
 	}
+	if c.Handlers <= 0 {
+		c.Handlers = runtime.GOMAXPROCS(0)
+		if c.Handlers < 4 {
+			c.Handlers = 4
+		}
+	}
+	if c.HandlerQueue <= 0 {
+		c.HandlerQueue = 4 * c.Handlers
+	}
 	return c
 }
 
@@ -98,6 +117,9 @@ type WireStats struct {
 	Dials     uint64 // outbound connections established
 	DialFails uint64 // dial attempts that failed
 	ConnsOpen int64  // currently open connections (both directions)
+	Writes    uint64 // write syscalls issued (direct or coalesced flush)
+	Frames    uint64 // frames those writes carried; Frames/Writes is the coalescing factor
+	Spills    uint64 // inbound requests served past the worker pool on spillover goroutines
 }
 
 // Net is a TCP fabric. It implements transport.Transport and
@@ -133,6 +155,10 @@ type Net struct {
 	// loops counts the accept loop and per-connection read loops.
 	loops sync.WaitGroup
 
+	// work feeds the bounded handler worker pool; closed by Close after
+	// the flightMu/closed barrier guarantees no further sends to it.
+	work chan srvTask
+
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	dedupHits atomic.Uint64
@@ -141,6 +167,9 @@ type Net struct {
 	dials     atomic.Uint64
 	dialFails atomic.Uint64
 	connsOpen atomic.Int64
+	writes    atomic.Uint64
+	frames    atomic.Uint64
+	spills    atomic.Uint64
 
 	// Observability handles, swapped in atomically by Instrument (the
 	// accept and read loops are already running by then). All handles are
@@ -158,11 +187,13 @@ type Net struct {
 type instruments struct {
 	hEnc     *obs.Hist // encode seconds per message
 	hDec     *obs.Hist // decode seconds per message
+	hFlush   *obs.Hist // frames per coalesced flush round
 	cIn      *obs.Counter
 	cOut     *obs.Counter
 	gConn    *obs.Gauge
 	gDialing *obs.Gauge // dial slots currently held by in-progress dials
 	gCooling *obs.Gauge // destination pools inside a post-failure cooldown
+	gQueue   *obs.Gauge // depth of a conn's write queue at last enqueue
 }
 
 var noInstr = &instruments{}
@@ -194,9 +225,14 @@ func New(cfg Config) (*Net, error) {
 		eps:     make(map[transport.Addr]*endpoint),
 		pools:   make(map[string]*pool),
 		closeCh: make(chan struct{}),
+		work:    make(chan srvTask, cfg.HandlerQueue),
 	}
 	n.loops.Add(1)
 	go n.acceptLoop()
+	for i := 0; i < cfg.Handlers; i++ {
+		n.loops.Add(1)
+		go n.handlerLoop()
+	}
 	return n, nil
 }
 
@@ -247,11 +283,13 @@ func (n *Net) Instrument(reg *obs.Registry) {
 	n.instr.Store(&instruments{
 		hEnc:     reg.Histogram("tcpnet.encode.seconds", 0, 0.001, 200),
 		hDec:     reg.Histogram("tcpnet.decode.seconds", 0, 0.001, 200),
+		hFlush:   reg.Histogram("tcpnet.flush.batch", 0, 64, 64),
 		cIn:      reg.Counter("tcpnet.bytes.in"),
 		cOut:     reg.Counter("tcpnet.bytes.out"),
 		gConn:    reg.Gauge("tcpnet.conns.open"),
 		gDialing: reg.Gauge("tcpnet.pool.dialing"),
 		gCooling: reg.Gauge("tcpnet.pool.cooldown"),
+		gQueue:   reg.Gauge("tcpnet.flush.queue"),
 	})
 }
 
@@ -263,6 +301,12 @@ func (n *Net) Instrument(reg *obs.Registry) {
 func (n *Net) InstrumentRPC(o *obs.RPCObs) {
 	n.rpc.Store(o)
 }
+
+// CanRedeliver implements transport.Redeliverer: a call that misses its
+// reply deadline over a real socket may still have been delivered and
+// executed, so retries over this fabric re-execute handlers unless dedup
+// is on.
+func (n *Net) CanRedeliver() bool { return true }
 
 // EnableDedup implements transport.Deduper: every current and future
 // endpoint gets a bounded at-most-once call cache.
@@ -302,7 +346,10 @@ func (n *Net) Unbind(a transport.Addr) {
 
 // Send implements transport.Transport: encode the request with the wire
 // codec, ship it over a pooled connection to the destination fabric, and
-// wait for the matching reply frame no longer than timeout.
+// wait for the matching reply frame no longer than timeout. The fast path
+// is allocation-free: the frame builds in a pooled encoder (framed in
+// place via the FrameOverhead reserve), the reply waiter is a pooled
+// channel slot, the timer and the decoded reply envelope are pooled too.
 func (n *Net) Send(req transport.Request, timeout time.Duration) (any, error) {
 	n.sent.Add(1)
 	n.flightMu.Lock()
@@ -319,47 +366,57 @@ func (n *Net) Send(req transport.Request, timeout time.Duration) (any, error) {
 		return nil, err
 	}
 
-	mux := c.nextMux.Add(1)
-	ch := make(chan *wire.Reply, 1)
-	c.addPending(mux, ch)
-	defer c.removePending(mux)
-
 	ins := n.ins()
 	var encStart time.Time
 	if ins.hEnc != nil {
 		encStart = time.Now()
 	}
-	enc := encoders.Get().(*wire.Encoder)
-	defer func() { enc.Reset(); encoders.Put(enc) }()
-	enc.Reset()
+	mux := c.nextMux.Add(1)
+	enc := getEncoder()
+	enc.Pad(wire.FrameOverhead)
 	if err := wire.EncodeRequest(enc, mux, req); err != nil {
+		putEncoder(enc)
 		return nil, err
 	}
-	frame, err := wire.AppendFrame(nil, enc.Bytes())
+	frame, err := wire.FinishFrame(enc.Bytes())
 	if err != nil {
+		putEncoder(enc)
 		return nil, err
 	}
 	ins.hEnc.Since(encStart)
-	if err := c.write(frame, timeout); err != nil {
-		// The conn died under us; it is already retired from the pool. The
-		// request may or may not have left — indistinguishable from a lost
-		// leg, so surface the retryable class.
+
+	ch := callSlots.Get().(chan *wire.Reply)
+	if !c.addPending(mux, ch) {
+		putEncoder(enc)
+		callSlots.Put(ch)
+		return nil, fmt.Errorf("%w: connection lost", transport.ErrTimeout)
+	}
+	if err := c.send(outFrame{enc: enc, b: frame}, timeout); err != nil {
+		// The conn died under us (die has already swept pending, depositing
+		// into our slot); it is already retired from the pool. The request
+		// may or may not have left — indistinguishable from a lost leg, so
+		// surface the retryable class.
+		c.reclaim(mux, ch)
 		return nil, fmt.Errorf("%w: %v", transport.ErrTimeout, err)
 	}
-	n.bytesOut.Add(uint64(len(frame)))
-	ins.cOut.Add(uint64(len(frame)))
 
-	t := time.NewTimer(timeout)
-	defer t.Stop()
+	t := getTimer(timeout)
 	select {
 	case rep := <-ch:
-		return replyValue(rep)
+		putTimer(t)
+		callSlots.Put(ch)
+		if rep == nil {
+			// die's deposit: the connection failed while we waited, the
+			// reply can never arrive. Retryable, same as a lost reply leg.
+			return nil, fmt.Errorf("%w: connection lost", transport.ErrTimeout)
+		}
+		v, err := replyValue(rep)
+		replies.Put(rep)
+		return v, err
 	case <-t.C:
+		putTimer(t)
+		c.reclaim(mux, ch)
 		return nil, transport.ErrTimeout
-	case <-c.dead:
-		// Connection failed while we waited: the reply can never arrive.
-		// Retryable, same as a lost reply leg.
-		return nil, fmt.Errorf("%w: connection lost", transport.ErrTimeout)
 	}
 }
 
@@ -377,9 +434,41 @@ func replyValue(rep *wire.Reply) (any, error) {
 	}
 }
 
-// encoders pools request/reply encoders: one encode per message on the hot
-// path should not cost an allocation.
-var encoders = sync.Pool{New: func() any { return wire.NewEncoder(256) }}
+// The fast-path pools. One RPC touches, and recycles, one of each: an
+// encoder (whose buffer IS the frame buffer, via the FrameOverhead
+// reserve), a reply-waiter channel, a decoded reply envelope, and a
+// timer; the receiving side adds a decoded request envelope. Encoders are
+// Reset at put, so Get returns an empty, ready buffer.
+var (
+	encoders  = sync.Pool{New: func() any { return wire.NewEncoder(256) }}
+	callSlots = sync.Pool{New: func() any { return make(chan *wire.Reply, 1) }}
+	replies   = sync.Pool{New: func() any { return new(wire.Reply) }}
+	requests  = sync.Pool{New: func() any { return new(wire.Request) }}
+	timers    sync.Pool // *time.Timer; nil New — getTimer handles the miss
+)
+
+func getEncoder() *wire.Encoder { return encoders.Get().(*wire.Encoder) }
+
+func putEncoder(e *wire.Encoder) {
+	e.Reset()
+	encoders.Put(e)
+}
+
+// getTimer returns a pooled timer armed for d. Timers from the pool were
+// Stopped at put; Reset after Stop without a drain is correct under the
+// Go 1.23 timer semantics this module requires.
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timers.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timers.Put(t)
+}
 
 // Stats implements transport.Transport.
 func (n *Net) Stats() transport.Stats {
@@ -398,6 +487,9 @@ func (n *Net) WireStats() WireStats {
 		Dials:     n.dials.Load(),
 		DialFails: n.dialFails.Load(),
 		ConnsOpen: n.connsOpen.Load(),
+		Writes:    n.writes.Load(),
+		Frames:    n.frames.Load(),
+		Spills:    n.spills.Load(),
 	}
 }
 
@@ -467,6 +559,10 @@ func (n *Net) Close() error {
 	}
 	close(n.closeCh)
 	err := n.ln.Close()
+	// The flightMu barrier above guarantees no serveRequest will enqueue
+	// after this point, so closing the work channel is race-free; workers
+	// drain what is already queued and exit.
+	close(n.work)
 	// Drain: handlers that already accepted a request run to completion and
 	// write their replies, and Sends in progress consume those replies (or
 	// hit their own deadlines), before the conns go away.

@@ -386,6 +386,201 @@ func TestFrameIO(t *testing.T) {
 	}
 }
 
+func TestFinishFrame(t *testing.T) {
+	// FinishFrame must produce byte-identical framing to AppendFrame for
+	// every payload size class a varint length prefix distinguishes.
+	for _, n := range []int{0, 1, 127, 128, 3000, MaxFrame} {
+		payload := bytes.Repeat([]byte{0x5a}, n)
+		want, err := AppendFrame(nil, payload)
+		if err != nil {
+			t.Fatalf("AppendFrame(%d): %v", n, err)
+		}
+		e := NewEncoder(FrameOverhead + n)
+		e.Pad(FrameOverhead)
+		e.buf = append(e.buf, payload...)
+		got, err := FinishFrame(e.Bytes())
+		if err != nil {
+			t.Fatalf("FinishFrame(%d): %v", n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("FinishFrame(%d) framing differs from AppendFrame", n)
+		}
+	}
+	if _, err := FinishFrame(make([]byte, FrameOverhead-1)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("FinishFrame(under reserve) = %v, want ErrTruncated", err)
+	}
+	if _, err := FinishFrame(make([]byte, FrameOverhead+MaxFrame+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("FinishFrame(oversize) = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestAppendEnvelopes(t *testing.T) {
+	// The append-into-caller-buffer forms must produce the same bytes as
+	// the Encoder forms, after any prefix already in dst.
+	req := transport.Request{
+		ID: 4, From: "t:a", To: "c:b", Kind: KindArrive,
+		Body: Arrive{Wire: 2, Token: "t:a", Seq: 9},
+	}
+	e := NewEncoder(64)
+	if err := EncodeRequest(e, 11, req); err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte{0xfe, 0xff}
+	got, err := AppendRequest(append([]byte(nil), prefix...), 11, req)
+	if err != nil {
+		t.Fatalf("AppendRequest: %v", err)
+	}
+	if !bytes.Equal(got, append(append([]byte(nil), prefix...), e.Bytes()...)) {
+		t.Fatal("AppendRequest bytes differ from EncodeRequest")
+	}
+	if _, err := AppendRequest(nil, 1, transport.Request{Kind: "nonesuch"}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("AppendRequest(unknown kind) = %v, want ErrUnknownKind", err)
+	}
+
+	c, _ := ByKind(KindArrive)
+	e.Reset()
+	if err := EncodeReply(e, 11, c.Code, ReplyOK, ArriveRes{Status: StatusProcessed, Out: 3}, ""); err != nil {
+		t.Fatal(err)
+	}
+	got, err = AppendReply(nil, 11, c.Code, ReplyOK, ArriveRes{Status: StatusProcessed, Out: 3}, "")
+	if err != nil {
+		t.Fatalf("AppendReply: %v", err)
+	}
+	if !bytes.Equal(got, e.Bytes()) {
+		t.Fatal("AppendReply bytes differ from EncodeReply")
+	}
+}
+
+// TestDecodeIntoReuse drives one Request and one Reply value through
+// decodes of different shapes — the pooled-value pattern the TCP fabric
+// uses — and requires no state to leak between decodes.
+func TestDecodeIntoReuse(t *testing.T) {
+	c, _ := ByKind(KindArrive)
+
+	var rep Reply
+	e := NewEncoder(64)
+	if err := EncodeReply(e, 1, 0, ReplyAppError, nil, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeReplyFrame(e.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != ReplyAppError || rep.ErrText != "boom" {
+		t.Fatalf("error reply decode: %#v", rep)
+	}
+	e.Reset()
+	if err := EncodeReply(e, 2, c.Code, ReplyOK, ArriveRes{Status: StatusQueued}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeReplyFrame(e.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrText != "" {
+		t.Fatalf("reused reply leaked ErrText %q", rep.ErrText)
+	}
+	if rep.Body != (ArriveRes{Status: StatusQueued}) {
+		t.Fatalf("reused reply body: %#v", rep.Body)
+	}
+	e.Reset()
+	if err := EncodeReply(e, 3, 0, ReplyUnreachable, nil, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeReplyFrame(e.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Body != nil {
+		t.Fatalf("reused reply leaked Body %#v", rep.Body)
+	}
+
+	var req Request
+	e.Reset()
+	if err := EncodeRequest(e, 4, transport.Request{
+		ID: 5, From: "t:a", To: "c:b", Kind: KindArrive, Body: Arrive{Wire: 1, Token: "t:a", Seq: 6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeRequestFrame(e.Bytes(), &req); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := DecodeFrame(e.Bytes())
+	if !reflect.DeepEqual(&req, want) {
+		t.Fatalf("DecodeRequestFrame:\n got %#v\nwant %#v", &req, want)
+	}
+	if IsReply(nil) || IsReply(e.Bytes()) {
+		t.Fatal("IsReply misclassified a request frame")
+	}
+	// Tag mismatches are corrupt, not silently wrong-typed.
+	if err := DecodeReplyFrame(e.Bytes(), &rep); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeReplyFrame(request payload) = %v, want ErrCorrupt", err)
+	}
+	e.Reset()
+	if err := EncodeReply(e, 7, 0, ReplyAppError, nil, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !IsReply(e.Bytes()) {
+		t.Fatal("IsReply missed a reply frame")
+	}
+	if err := DecodeRequestFrame(e.Bytes(), &req); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("DecodeRequestFrame(reply payload) = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReadFrameCoalesced reads back-to-back frames from one stream — the
+// on-the-wire shape a write coalescer produces — reusing the shared read
+// buffer between frames, and checks each decode is self-contained. The
+// final frame sits exactly on the MaxFrame boundary.
+func TestReadFrameCoalesced(t *testing.T) {
+	e := NewEncoder(64)
+	if err := EncodeRequest(e, 21, transport.Request{
+		ID: 1, From: "t:a", To: "c:b", Kind: KindArrive, Body: Arrive{Wire: 3, Token: "t:a", Seq: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reqPayload := append([]byte(nil), e.Bytes()...)
+	e.Reset()
+	if err := EncodeReply(e, 21, 0, ReplyAppError, nil, "later"); err != nil {
+		t.Fatal(err)
+	}
+	repPayload := append([]byte(nil), e.Bytes()...)
+	var stream []byte
+	var err error
+	for _, p := range [][]byte{reqPayload, repPayload, make([]byte, MaxFrame)} {
+		if stream, err = AppendFrame(stream, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var buf []byte
+	buf, err = ReadFrame(br, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	if err := DecodeRequestFrame(buf, &req); err != nil || req.Mux != 21 {
+		t.Fatalf("first coalesced frame: mux %d, err %v", req.Mux, err)
+	}
+	buf, err = ReadFrame(br, buf[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Reply
+	if err := DecodeReplyFrame(buf, &rep); err != nil || rep.ErrText != "later" {
+		t.Fatalf("second coalesced frame: %#v, err %v", rep, err)
+	}
+	// The second decode's strings must survive the buffer being overwritten
+	// by the next (max-size) frame: decoded values never alias the buffer.
+	buf, err = ReadFrame(br, buf[:0])
+	if err != nil {
+		t.Fatalf("MaxFrame boundary frame: %v", err)
+	}
+	if len(buf) != MaxFrame {
+		t.Fatalf("boundary frame length %d, want %d", len(buf), MaxFrame)
+	}
+	if req.Req.From != "t:a" || rep.ErrText != "later" {
+		t.Fatal("decoded values alias the shared read buffer")
+	}
+}
+
 func binaryAppendUvarint(dst []byte, v uint64) []byte {
 	e := NewEncoder(10)
 	e.Uvarint(v)

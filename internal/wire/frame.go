@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/transport"
 )
@@ -96,6 +97,27 @@ func EncodeReply(e *Encoder, mux uint64, kindCode byte, status ReplyStatus, body
 	return c.EncodeRes(e, body)
 }
 
+// AppendRequest appends a request envelope (the EncodeRequest format) to
+// dst and returns the extended slice: the encode-into-caller-buffer form
+// for callers that manage their own buffers. On error the bytes past
+// len(dst) are unreliable — truncate back to the original length.
+func AppendRequest(dst []byte, mux uint64, req transport.Request) ([]byte, error) {
+	e := Encoder{buf: dst}
+	if err := EncodeRequest(&e, mux, req); err != nil {
+		return dst, err
+	}
+	return e.buf, nil
+}
+
+// AppendReply is the encode-into-caller-buffer form of EncodeReply.
+func AppendReply(dst []byte, mux uint64, kindCode byte, status ReplyStatus, body any, errText string) ([]byte, error) {
+	e := Encoder{buf: dst}
+	if err := EncodeReply(&e, mux, kindCode, status, body, errText); err != nil {
+		return dst, err
+	}
+	return e.buf, nil
+}
+
 // DecodeFrame decodes one frame payload into either a *Request or a
 // *Reply. The whole payload must be consumed: trailing bytes are corrupt.
 func DecodeFrame(payload []byte) (any, error) {
@@ -106,98 +128,173 @@ func DecodeFrame(payload []byte) (any, error) {
 	}
 	switch tag {
 	case frameRequest:
-		req, err := decodeRequest(d)
-		if err != nil {
+		var r Request
+		if err := decodeRequestInto(d, &r); err != nil {
 			return nil, err
 		}
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
-		return req, nil
+		return &r, nil
 	case frameReply:
-		rep, err := decodeReply(d)
-		if err != nil {
+		var r Reply
+		if err := decodeReplyInto(d, &r); err != nil {
 			return nil, err
 		}
 		if err := d.Finish(); err != nil {
 			return nil, err
 		}
-		return rep, nil
+		return &r, nil
 	default:
 		return nil, fmt.Errorf("%w: frame tag %d", ErrCorrupt, tag)
 	}
 }
 
-func decodeRequest(d *Decoder) (*Request, error) {
-	var r Request
+// IsReply reports whether a frame payload carries a reply envelope. It
+// inspects only the tag byte; a true result does not promise the rest of
+// the payload decodes.
+func IsReply(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == frameReply
+}
+
+// decoders pools Decoder values for the frame-decode entry points: the
+// decoder escapes through the per-kind codec's indirect call, so a fresh
+// one per frame would cost an allocation on an otherwise allocation-free
+// path. A pooled decoder keeps no reference to its last payload past Put
+// (Reset on the next Get re-aims it).
+var decoders = sync.Pool{New: func() any { return new(Decoder) }}
+
+// DecodeRequestFrame decodes a request frame payload into r, overwriting
+// every field — the allocation-free counterpart of DecodeFrame for
+// callers that pool Request values. The payload must carry a request
+// envelope and must be fully consumed.
+func DecodeRequestFrame(payload []byte, r *Request) error {
+	d := decoders.Get().(*Decoder)
+	d.Reset(payload)
+	err := decodeRequestFrame(d, r)
+	d.Reset(nil)
+	decoders.Put(d)
+	return err
+}
+
+func decodeRequestFrame(d *Decoder, r *Request) error {
+	tag, err := d.Byte()
+	if err != nil {
+		return err
+	}
+	if tag != frameRequest {
+		return fmt.Errorf("%w: frame tag %d is not a request", ErrCorrupt, tag)
+	}
+	if err := decodeRequestInto(d, r); err != nil {
+		return err
+	}
+	return d.Finish()
+}
+
+// DecodeReplyFrame decodes a reply frame payload into r, overwriting
+// every field — the allocation-free counterpart of DecodeFrame for
+// callers that pool Reply values. The payload must carry a reply envelope
+// and must be fully consumed.
+func DecodeReplyFrame(payload []byte, r *Reply) error {
+	d := decoders.Get().(*Decoder)
+	d.Reset(payload)
+	err := decodeReplyFrame(d, r)
+	d.Reset(nil)
+	decoders.Put(d)
+	return err
+}
+
+func decodeReplyFrame(d *Decoder, r *Reply) error {
+	tag, err := d.Byte()
+	if err != nil {
+		return err
+	}
+	if tag != frameReply {
+		return fmt.Errorf("%w: frame tag %d is not a reply", ErrCorrupt, tag)
+	}
+	if err := decodeReplyInto(d, r); err != nil {
+		return err
+	}
+	return d.Finish()
+}
+
+// decodeRequestInto fills r from d. Every field of r is assigned, so a
+// reused (pooled) Request cannot leak state from its previous decode.
+func decodeRequestInto(d *Decoder, r *Request) error {
 	var err error
 	if r.Mux, err = d.Uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Req.ID, err = d.Uvarint(); err != nil {
-		return nil, err
+		return err
 	}
+	// Addresses repeat on every frame between a pair of endpoints, so
+	// they decode through the intern table instead of allocating a fresh
+	// copy per request.
 	var from, to string
-	if from, err = d.String(); err != nil {
-		return nil, err
+	if from, err = d.InternedString(); err != nil {
+		return err
 	}
-	if to, err = d.String(); err != nil {
-		return nil, err
+	if to, err = d.InternedString(); err != nil {
+		return err
 	}
 	r.Req.From, r.Req.To = transport.Addr(from), transport.Addr(to)
 	if r.Req.Trace.TraceID, err = d.Uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Req.Trace.SpanID, err = d.Uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	code, err := d.Byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	c, ok := ByCode(code)
 	if !ok {
-		return nil, fmt.Errorf("%w: code %d", ErrUnknownKind, code)
+		return fmt.Errorf("%w: code %d", ErrUnknownKind, code)
 	}
 	r.Req.Kind = c.Kind
 	if r.Req.Body, err = c.DecodeReq(d); err != nil {
-		return nil, err
+		return err
 	}
-	return &r, nil
+	return nil
 }
 
-func decodeReply(d *Decoder) (*Reply, error) {
-	var r Reply
+// decodeReplyInto fills r from d. Body and ErrText are cleared up front:
+// only one of them is assigned per status, and a reused (pooled) Reply
+// must not leak the other from its previous decode.
+func decodeReplyInto(d *Decoder, r *Reply) error {
+	r.Body, r.ErrText = nil, ""
 	var err error
 	if r.Mux, err = d.Uvarint(); err != nil {
-		return nil, err
+		return err
 	}
 	st, err := d.Byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	r.Status = ReplyStatus(st)
 	switch r.Status {
 	case ReplyOK:
 		code, err := d.Byte()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c, ok := ByCode(code)
 		if !ok {
-			return nil, fmt.Errorf("%w: code %d", ErrUnknownKind, code)
+			return fmt.Errorf("%w: code %d", ErrUnknownKind, code)
 		}
 		if r.Body, err = c.DecodeRes(d); err != nil {
-			return nil, err
+			return err
 		}
 	case ReplyAppError, ReplyUnreachable, ReplyBadRequest:
 		if r.ErrText, err = d.String(); err != nil {
-			return nil, err
+			return err
 		}
 	default:
-		return nil, fmt.Errorf("%w: reply status %d", ErrCorrupt, st)
+		return fmt.Errorf("%w: reply status %d", ErrCorrupt, st)
 	}
-	return &r, nil
+	return nil
 }
 
 // AppendFrame appends a length-prefixed frame carrying payload to dst and
@@ -208,6 +305,32 @@ func AppendFrame(dst, payload []byte) ([]byte, error) {
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	return append(dst, payload...), nil
+}
+
+// FrameOverhead is the number of bytes FinishFrame needs reserved ahead
+// of the payload: the widest length prefix a MaxFrame payload can take
+// (uvarint(1<<20) is 3 bytes; MaxVarintLen32 leaves slack for a larger
+// MaxFrame without a wire change).
+const FrameOverhead = binary.MaxVarintLen32
+
+// FinishFrame frames a payload in place: buf must be FrameOverhead
+// reserved bytes (Encoder.Pad) followed by the payload. The length prefix
+// is written into the tail of the reserve and the framed message —
+// a sub-slice of buf, no copy, no allocation — is returned. Equivalent to
+// AppendFrame(nil, buf[FrameOverhead:]) without the second buffer.
+func FinishFrame(buf []byte) ([]byte, error) {
+	if len(buf) < FrameOverhead {
+		return nil, fmt.Errorf("%w: %d bytes is under the %d-byte frame reserve", ErrTruncated, len(buf), FrameOverhead)
+	}
+	payload := len(buf) - FrameOverhead
+	if payload > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, payload)
+	}
+	var hdr [FrameOverhead]byte
+	n := binary.PutUvarint(hdr[:], uint64(payload))
+	start := FrameOverhead - n
+	copy(buf[start:], hdr[:n])
+	return buf[start:], nil
 }
 
 // ReadFrame reads one length-prefixed frame from br, reusing buf when it

@@ -1,7 +1,12 @@
 package wire
 
 import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
@@ -183,6 +188,92 @@ func FuzzDecodeFrame(f *testing.F) {
 			}
 		default:
 			t.Fatalf("DecodeFrame returned %T", v)
+		}
+	})
+}
+
+// FuzzReadFrameStream treats the input as a raw connection byte stream
+// and reads frames off it the way a conn read loop does: ReadFrame into a
+// buffer that is reused for the next frame, DecodeFrame on each payload.
+// This is the surface the write coalescer leans on — many frames landing
+// back to back in one read-buffer fill — so the seeds pin that shape plus
+// the MaxFrame boundary, and the invariants are: no panic, every payload
+// within MaxFrame, every decode either total or a typed error, and
+// decoded values independent of the shared buffer's reuse.
+func FuzzReadFrameStream(f *testing.F) {
+	// Seed: two coalesced frames (a request then its reply, exactly what a
+	// flushed write batch produces) back to back in one stream.
+	e := NewEncoder(64)
+	if err := EncodeRequest(e, 5, transport.Request{
+		ID: 6, From: "t:a", To: "c:b", Kind: KindArrive, Body: Arrive{Wire: 1, Token: "t:a", Seq: 2},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	coalesced, err := AppendFrame(nil, e.Bytes())
+	if err != nil {
+		f.Fatal(err)
+	}
+	e.Reset()
+	c, _ := ByKind(KindArrive)
+	if err := EncodeReply(e, 5, c.Code, ReplyOK, ArriveRes{Status: StatusProcessed, Out: 1}, ""); err != nil {
+		f.Fatal(err)
+	}
+	if coalesced, err = AppendFrame(coalesced, e.Bytes()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), coalesced...))
+	// Seed: a frame exactly at the MaxFrame boundary followed by another
+	// frame, so buffer reuse after a maximal fill is exercised; and one
+	// just past the boundary, which must fail typed.
+	boundary, err := AppendFrame(nil, make([]byte, MaxFrame))
+	if err != nil {
+		f.Fatal(err)
+	}
+	boundary, err = AppendFrame(boundary, []byte{frameReply, 1, byte(ReplyAppError), 0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(boundary)
+	f.Add(binaryAppendUvarint(nil, MaxFrame+1))
+	// Seed: a length prefix promising more than the stream carries.
+	f.Add(binaryAppendUvarint(nil, 500))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A small bufio buffer forces refills inside payloads, so frames
+		// straddle fills as well as coalesce within one.
+		br := bufio.NewReaderSize(bytes.NewReader(data), 64)
+		var buf []byte
+		var prevFrom string
+		for {
+			payload, err := ReadFrame(br, buf)
+			if err != nil {
+				if errors.Is(err, ErrTooLarge) || err == io.EOF || err == io.ErrUnexpectedEOF {
+					return
+				}
+				// The only other failure is the length prefix itself being
+				// unreadable (overlong varint).
+				if !strings.Contains(err.Error(), "varint") {
+					t.Fatalf("ReadFrame failed with unexpected error %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame returned %d bytes > MaxFrame", len(payload))
+			}
+			v, err := DecodeFrame(payload)
+			if err != nil {
+				if !typedDecodeErr(err) {
+					t.Fatalf("DecodeFrame error %v is not a typed decode error", err)
+				}
+			} else if m, ok := v.(*Request); ok {
+				// Values decoded from an earlier fill must not be rewritten
+				// by this one: strings copy out of the shared buffer.
+				if prevFrom != "" && len(prevFrom) > MaxString {
+					t.Fatalf("retained string grew to %d", len(prevFrom))
+				}
+				prevFrom = string(m.Req.From)
+			}
+			buf = payload[:0]
 		}
 	})
 }

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Errors returned by decoders. Decode failures wrap one of these, so
@@ -87,6 +88,14 @@ func (e *Encoder) Len() int { return len(e.buf) }
 
 // Byte appends one raw byte.
 func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Pad appends n zero bytes. Callers that frame in place (FinishFrame)
+// reserve the FrameOverhead header region up front with it.
+func (e *Encoder) Pad(n int) {
+	for i := 0; i < n; i++ {
+		e.buf = append(e.buf, 0)
+	}
+}
 
 // Uvarint appends an unsigned varint.
 func (e *Encoder) Uvarint(v uint64) {
@@ -145,6 +154,13 @@ type Decoder struct {
 
 // NewDecoder returns a decoder over buf. The decoder does not copy buf.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset re-aims the decoder at buf, dropping all previous state — the
+// reuse hook for pooled decoders on allocation-free paths.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+}
 
 // Remaining returns the number of unconsumed bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
@@ -219,6 +235,60 @@ func (d *Decoder) String() (string, error) {
 		return "", fmt.Errorf("%w: string needs %d bytes, %d left", ErrTruncated, n, d.Remaining())
 	}
 	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// internLimit bounds the wire's string intern table. Endpoint addresses
+// form a small closed set in any deployment, but the decoder cannot trust
+// its peer to keep it small, so past the bound new strings fall back to
+// plain allocation instead of growing the table without limit.
+const internLimit = 4096
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 64)
+)
+
+// interned returns the canonical copy of b from the process-wide intern
+// table, allocating (and remembering) it on first sight. The steady-state
+// path is one shared-lock map probe with no conversion copy: Go map
+// lookups keyed by string(b) do not allocate.
+func interned(b []byte) string {
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if c, ok := internTab[s]; ok {
+		s = c
+	} else if len(internTab) < internLimit {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
+// InternedString is String for fields drawn from a small closed set —
+// endpoint addresses on the request envelope — where every decoded frame
+// repeats values seen thousands of times before. It returns the interned
+// copy so the steady-state request decode path does not allocate per
+// frame.
+func (d *Decoder) InternedString() (string, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxString {
+		return "", fmt.Errorf("%w: string length %d > %d", ErrCorrupt, n, MaxString)
+	}
+	if uint64(d.Remaining()) < n {
+		return "", fmt.Errorf("%w: string needs %d bytes, %d left", ErrTruncated, n, d.Remaining())
+	}
+	s := interned(d.buf[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s, nil
 }
