@@ -1,11 +1,11 @@
 GO ?= go
 # Packages with real concurrency (goroutine tokens, shared fabrics, rings)
 # get a second pass under the race detector.
-RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
+RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... ./internal/adapt/... .
 
-.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke bench-baseline bench-compare
+.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke comparesmoke bench-baseline bench-compare
 
-check: fmt vet build test race benchsmoke perfsmoke tracesmoke
+check: fmt vet build test race benchsmoke perfsmoke tracesmoke comparesmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -35,7 +35,17 @@ benchsmoke:
 # b.RunParallel and the batch/pooled paths race real goroutines, so this
 # catches data races the correctness tests' schedules might miss.
 perfsmoke:
-	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec' -benchtime 1x -run '^$$' .
+	$(GO) test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec|E31AdaptiveBatch' -benchtime 1x -run '^$$' .
+
+# Re-verify the newest checked-in pre/post baseline against itself (first
+# run vs last run): an edit that regresses the recorded post numbers — or
+# a bad merge of BENCH_9.json — fails the gate. COMPARE_BASELINE points at
+# the file; COMPARE_MAXREGRESS is looser than the live-run gate because
+# both runs are frozen in the file and only file edits can move them.
+COMPARE_BASELINE ?= BENCH_9.json
+COMPARE_MAXREGRESS ?= 25
+comparesmoke:
+	$(GO) run ./cmd/acnbench -compare -maxregress $(COMPARE_MAXREGRESS) $(COMPARE_BASELINE)
 
 # End-to-end trace export: a small sim writes sampled spans as Perfetto
 # trace-event JSON, and the validator re-parses the file and checks its
@@ -52,7 +62,7 @@ tracesmoke:
 # LABEL=post`).
 LABEL ?= local
 bench-baseline:
-	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle|TransportDedup|WorkloadBursty|WireCodec' \
+	$(GO) test -bench 'Token|ChordLookup|SizeEstimate|MaintainFixpoint|EffectiveWidth|SplitMergeCycle|TransportDedup|WorkloadBursty|WireCodec|E31AdaptiveBatch' \
 		-benchmem -benchtime 1s -run '^$$' . \
 		| $(GO) run ./cmd/acnbench -json -label $(LABEL) > BENCH_$(LABEL).json
 	@echo wrote BENCH_$(LABEL).json

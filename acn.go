@@ -34,7 +34,9 @@ package acn
 
 import (
 	"io"
+	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/balancer"
 	"repro/internal/baseline"
 	"repro/internal/bitonic"
@@ -298,6 +300,44 @@ type Controller = dist.Controller
 // Chord ring.
 func NewController(cl *Cluster, ring *Ring) *Controller {
 	return dist.NewController(cl, ring)
+}
+
+// AdaptController is the AIMD batch-sizing control loop: it consumes
+// wire-level feedback windows (coalescing factor, flush-queue depth,
+// handler-latency EWMA, handler-pool spills) and recommends the group/chunk
+// size that dist.Cluster.InjectBatch, core.Client.InjectBatch and
+// workload.RunAdaptive consult. Install with Cluster.UseAdapt or
+// Client.UseAdapt.
+type AdaptController = adapt.Controller
+
+// AdaptConfig sets the controller's bounds, step sizes and feedback
+// thresholds; the zero value is usable (DefaultAdaptConfig documents the
+// resolved defaults).
+type AdaptConfig = adapt.Config
+
+// AdaptSample is one feedback window handed to AdaptController.Observe.
+type AdaptSample = adapt.Sample
+
+// AdaptPoller drives a controller from a sampling closure on a fixed
+// interval.
+type AdaptPoller = adapt.Poller
+
+// SizeError reports an invalid batch/group size passed to a sizing API
+// (workload.RunBatched, Cluster.SetGroupLimit, ...).
+type SizeError = adapt.SizeError
+
+// NewAdaptController builds a controller from cfg (zero fields take the
+// defaults).
+func NewAdaptController(cfg AdaptConfig) *AdaptController { return adapt.New(cfg) }
+
+// DefaultAdaptConfig returns the fully-resolved default controller
+// configuration.
+func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
+
+// NewAdaptPoller starts a sampling loop feeding ctrl every interval; stop
+// it with AdaptPoller.Stop.
+func NewAdaptPoller(ctrl *AdaptController, interval time.Duration, sample func() AdaptSample) *AdaptPoller {
+	return adapt.NewPoller(ctrl, interval, sample)
 }
 
 // SimConfig configures a discrete-event simulation of the network (node

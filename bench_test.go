@@ -405,6 +405,8 @@ func BenchmarkE29TraceBreakdown(b *testing.B) { benchExperiment(b, "E29") }
 
 func BenchmarkE30RPCFastPath(b *testing.B) { benchExperiment(b, "E30") }
 
+func BenchmarkE31AdaptiveBatch(b *testing.B) { benchExperiment(b, "E31") }
+
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency
 // percentiles across N are the observability layer's acceptance output.

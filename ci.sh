@@ -29,13 +29,16 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... .
+go test -race ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... ./internal/adapt/... .
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -bench . -benchtime 1x -run '^$' ./...
 
 echo "== perf smoke (hot-path benchmarks under -race) =="
-go test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec' -benchtime 1x -run '^$' .
+go test -race -bench 'TokenAdaptiveParallel|TokenAdaptiveBatch|TokenDist|TransportDedupParallel|WorkloadBursty|ChordLookupCached|WireCodec|E31AdaptiveBatch' -benchtime 1x -run '^$' .
+
+echo "== compare smoke (checked-in pre/post baseline gates itself) =="
+go run ./cmd/acnbench -compare -maxregress 25 BENCH_9.json
 
 echo "== trace smoke (Perfetto export through the CLI, then validate) =="
 tracetmp="$(mktemp /tmp/acn-trace-XXXXXX.json)"

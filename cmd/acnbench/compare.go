@@ -9,19 +9,10 @@ import (
 	"repro/internal/stats"
 )
 
-// loadBenchRuns reads one BENCH_*.json file and indexes its results by
-// benchmark name, keeping the last occurrence: a file holding both a
-// "pre" and a "post" run compares at its most recent numbers.
-func loadBenchRuns(path string) (map[string]stats.BenchResult, string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, "", err
-	}
-	defer f.Close()
-	runs, err := stats.ReadBenchJSON(f)
-	if err != nil {
-		return nil, "", fmt.Errorf("%s: %w", path, err)
-	}
+// indexResults flattens runs into a by-name result map, keeping the last
+// occurrence of each benchmark, and returns the label of the last run that
+// carried one.
+func indexResults(runs []stats.BenchRun) (map[string]stats.BenchResult, string) {
 	byName := make(map[string]stats.BenchResult)
 	label := ""
 	for _, run := range runs {
@@ -32,7 +23,32 @@ func loadBenchRuns(path string) (map[string]stats.BenchResult, string, error) {
 			byName[r.Name] = r
 		}
 	}
+	return byName, label
+}
+
+// loadBenchRuns reads one BENCH_*.json file and indexes its results by
+// benchmark name, keeping the last occurrence: a file holding both a
+// "pre" and a "post" run compares at its most recent numbers.
+func loadBenchRuns(path string) (map[string]stats.BenchResult, string, error) {
+	runs, err := readBenchFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	byName, label := indexResults(runs)
 	return byName, label, nil
+}
+
+func readBenchFile(path string) ([]stats.BenchRun, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs, err := stats.ReadBenchJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return runs, nil
 }
 
 // compareBench prints per-benchmark ns/op and allocs/op deltas between two
@@ -53,7 +69,37 @@ func compareBench(oldPath, newPath string, maxRegress float64) error {
 	if newLabel == "" {
 		newLabel = newPath
 	}
+	return compareResults(oldRes, newRes, oldLabel, newLabel, oldPath, newPath, maxRegress)
+}
 
+// compareBenchFile compares the FIRST and LAST runs inside one baseline
+// file: a checked-in BENCH_N.json holding a "pre" and a "post" run becomes
+// its own regression gate (`acnbench -compare BENCH_N.json`), so a
+// recorded optimization that later edits un-record would fail check.
+func compareBenchFile(path string, maxRegress float64) error {
+	runs, err := readBenchFile(path)
+	if err != nil {
+		return err
+	}
+	if len(runs) < 2 {
+		return fmt.Errorf("%s: single-file compare needs at least 2 runs, got %d", path, len(runs))
+	}
+	oldRes, oldLabel := indexResults(runs[:1])
+	newRes, newLabel := indexResults(runs[len(runs)-1:])
+	if oldLabel == "" {
+		oldLabel = "first"
+	}
+	if newLabel == "" {
+		newLabel = "last"
+	}
+	return compareResults(oldRes, newRes, oldLabel, newLabel,
+		path+"#"+oldLabel, path+"#"+newLabel, maxRegress)
+}
+
+// compareResults renders the delta table between two indexed result sets
+// and returns an error when any shared benchmark's ns/op regressed beyond
+// maxRegress percent.
+func compareResults(oldRes, newRes map[string]stats.BenchResult, oldLabel, newLabel, oldName, newName string, maxRegress float64) error {
 	shared := make([]string, 0, len(newRes))
 	for name := range newRes {
 		if _, ok := oldRes[name]; ok {
@@ -62,7 +108,7 @@ func compareBench(oldPath, newPath string, maxRegress float64) error {
 	}
 	sort.Strings(shared)
 	if len(shared) == 0 {
-		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldName, newName)
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -86,10 +132,10 @@ func compareBench(oldPath, newPath string, maxRegress float64) error {
 		return err
 	}
 	if only := len(newRes) - len(shared); only > 0 {
-		fmt.Printf("(%d benchmarks only in %s, not compared)\n", only, newPath)
+		fmt.Printf("(%d benchmarks only in %s, not compared)\n", only, newName)
 	}
 	if only := len(oldRes) - len(shared); only > 0 {
-		fmt.Printf("(%d benchmarks only in %s, not compared)\n", only, oldPath)
+		fmt.Printf("(%d benchmarks only in %s, not compared)\n", only, oldName)
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.1f%%: %v", len(regressed), maxRegress, regressed)

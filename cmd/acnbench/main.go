@@ -14,6 +14,7 @@
 //	acnbench -validatetrace out.json        # check a Perfetto trace export
 //	go test -bench . -benchmem | acnbench -json -label post > bench.json
 //	acnbench -compare old.json new.json -maxregress 15   # CI regression gate
+//	acnbench -compare BENCH_9.json          # gate a pre/post file against itself
 //
 // With -http, harness-level metrics (experiments completed, per-experiment
 // wall time) are served for the duration of the run, alongside the expvar
@@ -31,7 +32,9 @@
 // `make bench-baseline`), prints per-benchmark ns/op and allocs/op deltas,
 // and exits nonzero when any shared benchmark's ns/op regressed beyond
 // -maxregress percent. `make bench-compare OLD=a.json NEW=b.json` wraps it
-// as the perf-regression CI gate.
+// as the perf-regression CI gate. Given a single file, -compare gates the
+// file against itself — first run vs last run — so a checked-in pre/post
+// baseline (BENCH_N.json) is continuously re-verified by `make check`.
 package main
 
 import (
@@ -90,10 +93,14 @@ func run(args []string) error {
 		return err
 	}
 	if *compare {
-		if fs.NArg() != 2 {
-			return fmt.Errorf("-compare needs exactly two files, got %d args", fs.NArg())
+		switch fs.NArg() {
+		case 1:
+			return compareBenchFile(fs.Arg(0), *maxRegress)
+		case 2:
+			return compareBench(fs.Arg(0), fs.Arg(1), *maxRegress)
+		default:
+			return fmt.Errorf("-compare needs one baseline file (first vs last run) or two (old new), got %d args", fs.NArg())
 		}
-		return compareBench(fs.Arg(0), fs.Arg(1), *maxRegress)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -120,6 +127,7 @@ func run(args []string) error {
 			return err
 		}
 		run.Label = *label
+		run.StampHost()
 		return stats.WriteBenchJSON(os.Stdout, []stats.BenchRun{run})
 	}
 

@@ -1,0 +1,69 @@
+package adapt
+
+import (
+	"sync"
+	"time"
+)
+
+// Poller drives a Controller from a sampling closure: every interval it
+// calls sample() and feeds the result to ctrl.Observe. The closure runs
+// on a single goroutine, so it may keep previous-counter state to compute
+// window deltas without synchronization:
+//
+//	var prev tcpnet.WireStats
+//	p := adapt.NewPoller(ctrl, time.Millisecond, func() adapt.Sample {
+//		ws := tn.WireStats()
+//		s := adapt.Sample{
+//			Frames:     ws.Frames - prev.Frames,
+//			Writes:     ws.Writes - prev.Writes,
+//			Spills:     ws.Spills - prev.Spills,
+//			QueueDepth: ws.QueueDepth,
+//			Latency:    rpcObs.LatencyEWMA("agroup"),
+//		}
+//		prev = ws
+//		return s
+//	})
+//	defer p.Stop()
+//
+// The adapt package deliberately does not import the transport packages;
+// the caller owns the wiring from concrete stats to Sample.
+type Poller struct {
+	ctrl     *Controller
+	sample   func() Sample
+	interval time.Duration
+	stop     chan struct{}
+	done     sync.WaitGroup
+}
+
+// NewPoller starts the sampling loop and returns its handle. A
+// non-positive interval defaults to one millisecond.
+func NewPoller(ctrl *Controller, interval time.Duration, sample func() Sample) *Poller {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	p := &Poller{ctrl: ctrl, sample: sample, interval: interval, stop: make(chan struct{})}
+	p.done.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Poller) loop() {
+	defer p.done.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.ctrl.Observe(p.sample())
+		}
+	}
+}
+
+// Stop halts the loop and waits for the in-flight Observe (if any) to
+// finish. Safe to call once.
+func (p *Poller) Stop() {
+	close(p.stop)
+	p.done.Wait()
+}

@@ -43,6 +43,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/balancer"
 	"repro/internal/component"
 	"repro/internal/cutnet"
@@ -137,6 +138,13 @@ type Cluster struct {
 	// waiter re-checks conservation on every wakeup, so a coalesced or
 	// stale signal costs one extra check, never a missed one.
 	drainCh chan struct{}
+
+	// groupLimit caps how many tokens one wire.GroupArrive RPC carries in
+	// InjectBatch. Priority: an explicit SetGroupLimit wins; otherwise the
+	// adapt controller's live recommendation (when UseAdapt installed one);
+	// otherwise unlimited (one RPC per component visit, however large).
+	groupLimit atomic.Int64
+	adapt      *adapt.Controller
 
 	// topo is the epoch-snapshot topology: an immutable path→component map
 	// published via atomic pointer. Tokens resolve against whatever
@@ -449,6 +457,39 @@ func (cl *Cluster) InstrumentRPC(o *obs.RPCObs) bool {
 	return ok
 }
 
+// SetGroupLimit caps the number of tokens one group arrive RPC may carry
+// in InjectBatch. An explicit limit always wins over an installed adapt
+// controller; 0 removes the cap (restoring controller or unlimited
+// sizing). Negative values are rejected with an *adapt.SizeError. Safe to
+// call while batches are in flight: each send-round reads the limit once.
+func (cl *Cluster) SetGroupLimit(n int) error {
+	if n < 0 {
+		return &adapt.SizeError{Op: "dist: SetGroupLimit", Size: n}
+	}
+	cl.groupLimit.Store(int64(n))
+	return nil
+}
+
+// UseAdapt installs a batch-size controller: InjectBatch consults its
+// live recommendation when splitting a component visit into group arrive
+// RPCs (unless an explicit SetGroupLimit overrides it). Install before
+// traffic starts, like Instrument and Trace; pass nil to detach.
+func (cl *Cluster) UseAdapt(c *adapt.Controller) { cl.adapt = c }
+
+// groupCap resolves the current per-RPC token cap for one send round:
+// explicit limit first, controller recommendation second, 0 = unlimited.
+func (cl *Cluster) groupCap() int {
+	if n := cl.groupLimit.Load(); n > 0 {
+		return int(n)
+	}
+	if cl.adapt != nil {
+		if n := cl.adapt.Size(); n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
 // getEP takes a token endpoint from the free-list, binding a fresh one
 // when the list is empty.
 func (cl *Cluster) getEP() (*tokenEP, error) {
@@ -515,6 +556,9 @@ func (cl *Cluster) Inject(in int) (int, error) {
 // sitting at the same live component are delivered together in ONE group
 // arrive RPC (wire.GroupArrive) instead of one RPC each — on a k-component
 // cut a batch costs one RPC per component visit, not one per token per hop.
+// When a group-size cap is active (SetGroupLimit, or an adapt controller
+// installed with UseAdapt), a visit by more tokens than the cap is split
+// into ceil(n/cap) consecutive RPCs with identical counting output.
 // The counting output is byte-identical to routing the same tokens
 // sequentially (InjectBatchSeq): a component's per-output-wire counts
 // depend only on how many tokens arrived on each input wire, never on
@@ -635,61 +679,76 @@ func (cl *Cluster) InjectBatch(ins []int) ([]int, error) {
 			g.seqs = append(g.seqs, base+uint64(idx))
 		}
 		active = active[:0]
+		// One cap read per round: the adapt controller (or an explicit
+		// SetGroupLimit) bounds how many tokens each group arrive RPC
+		// carries, so a component visit by more tokens than the cap costs
+		// ceil(len/cap) RPCs. The chunks are count-equivalent to the whole
+		// group (per-wire counts depend only on arrival counts), so the
+		// cap changes RPC accounting and wire pressure, never outputs.
+		limit := cl.groupCap()
 		for _, g := range groups {
-			var hopStart time.Time
-			if cl.hHop != nil {
-				hopStart = time.Now()
-			}
-			reply, err := cl.rc.CallSpan(ep.addr, g.cm.addr, kindGroupArrive,
-				wire.GroupArrive{Token: string(ep.addr), Wires: g.wires, Seqs: g.seqs}, sp)
-			if err != nil {
-				return nil, fmt.Errorf("dist: group arrive at %v: %w", g.cm.c, err)
-			}
-			cl.hHop.Since(hopStart)
-			res, ok := reply.(wire.GroupArriveRes)
-			if !ok {
-				return nil, fmt.Errorf("dist: group arrive reply %T", reply)
-			}
-			switch res.Status {
-			case wire.StatusDead:
-				// The component was replaced between resolution and delivery;
-				// the whole group re-resolves against the current cut.
-				if sp != nil {
-					sp.Event("dead", string(g.cm.c.Path), int64(len(g.idxs)))
+			for off := 0; off < len(g.idxs); {
+				end := len(g.idxs)
+				if limit > 0 && end-off > limit {
+					end = off + limit
 				}
-				for k, idx := range g.idxs {
-					pos[idx] = tokenPos{path: g.cm.c.Path, wire: g.wires[k]}
-					active = append(active, idx)
+				idxs, wires, seqs := g.idxs[off:end], g.wires[off:end], g.seqs[off:end]
+				off = end
+				var hopStart time.Time
+				if cl.hHop != nil {
+					hopStart = time.Now()
 				}
-			case wire.StatusQueued:
-				if sp != nil {
-					sp.Event("queued", string(g.cm.c.Path), int64(len(g.idxs)))
+				reply, err := cl.rc.CallSpan(ep.addr, g.cm.addr, kindGroupArrive,
+					wire.GroupArrive{Token: string(ep.addr), Wires: wires, Seqs: seqs}, sp)
+				if err != nil {
+					return nil, fmt.Errorf("dist: group arrive at %v: %w", g.cm.c, err)
 				}
-				for k, idx := range g.idxs {
-					waiting[g.seqs[k]] = idx
+				cl.hHop.Since(hopStart)
+				res, ok := reply.(wire.GroupArriveRes)
+				if !ok {
+					return nil, fmt.Errorf("dist: group arrive reply %T", reply)
 				}
-			case wire.StatusProcessed:
-				if sp != nil {
-					sp.Event("group", string(g.cm.c.Path), int64(len(g.idxs)))
-				}
-				if len(res.Outs) != len(g.idxs) {
-					return nil, fmt.Errorf("dist: group arrive reply %d outs for %d tokens", len(res.Outs), len(g.idxs))
-				}
-				for k, idx := range g.idxs {
-					next, exited, netOut, err := cl.resolveNext(g.cm.c, res.Outs[k])
-					if err != nil {
-						return nil, err
+				switch res.Status {
+				case wire.StatusDead:
+					// The component was replaced between resolution and delivery;
+					// the whole group re-resolves against the current cut.
+					if sp != nil {
+						sp.Event("dead", string(g.cm.c.Path), int64(len(idxs)))
 					}
-					if exited {
-						cl.out[netOut].Add(1)
-						outs[idx] = netOut
-					} else {
-						pos[idx] = tokenPos{path: next.path, wire: next.wire}
+					for k, idx := range idxs {
+						pos[idx] = tokenPos{path: g.cm.c.Path, wire: wires[k]}
 						active = append(active, idx)
 					}
+				case wire.StatusQueued:
+					if sp != nil {
+						sp.Event("queued", string(g.cm.c.Path), int64(len(idxs)))
+					}
+					for k, idx := range idxs {
+						waiting[seqs[k]] = idx
+					}
+				case wire.StatusProcessed:
+					if sp != nil {
+						sp.Event("group", string(g.cm.c.Path), int64(len(idxs)))
+					}
+					if len(res.Outs) != len(idxs) {
+						return nil, fmt.Errorf("dist: group arrive reply %d outs for %d tokens", len(res.Outs), len(idxs))
+					}
+					for k, idx := range idxs {
+						next, exited, netOut, err := cl.resolveNext(g.cm.c, res.Outs[k])
+						if err != nil {
+							return nil, err
+						}
+						if exited {
+							cl.out[netOut].Add(1)
+							outs[idx] = netOut
+						} else {
+							pos[idx] = tokenPos{path: next.path, wire: next.wire}
+							active = append(active, idx)
+						}
+					}
+				default:
+					return nil, fmt.Errorf("dist: group arrive status %d", res.Status)
 				}
-			default:
-				return nil, fmt.Errorf("dist: group arrive status %d", res.Status)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -35,13 +36,28 @@ type BenchResult struct {
 type BenchRun struct {
 	// Label distinguishes runs within a baseline file, e.g. "pre" and
 	// "post" around an optimization, or a git revision.
-	Label   string        `json:"label,omitempty"`
-	Goos    string        `json:"goos,omitempty"`
-	Goarch  string        `json:"goarch,omitempty"`
-	Pkg     string        `json:"pkg,omitempty"`
-	CPU     string        `json:"cpu,omitempty"`
-	Notes   string        `json:"notes,omitempty"`
-	Results []BenchResult `json:"results"`
+	Label  string `json:"label,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// NumCPU and GoMaxProcs pin the parallelism the run actually had —
+	// ns/op from a 1-CPU container and a 32-core workstation are not
+	// comparable, and the Procs suffix alone doesn't reveal the host size.
+	// Stamped by StampHost (the acnbench -json path); zero in files written
+	// before the fields existed.
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Notes      string        `json:"notes,omitempty"`
+	Results    []BenchResult `json:"results"`
+}
+
+// StampHost records the machine parallelism (runtime.NumCPU, GOMAXPROCS)
+// on the run, so baseline files carry enough environment to judge whether
+// two runs are comparable.
+func (r *BenchRun) StampHost() {
+	r.NumCPU = runtime.NumCPU()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
 }
 
 // benchLine matches one result line:

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -75,6 +76,10 @@ func TestWriteBenchJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	run.Label = "pre"
+	run.StampHost()
+	if run.NumCPU != runtime.NumCPU() || run.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("host stamp wrong: cpu=%d procs=%d", run.NumCPU, run.GoMaxProcs)
+	}
 	var buf bytes.Buffer
 	if err := WriteBenchJSON(&buf, []BenchRun{run}); err != nil {
 		t.Fatal(err)
@@ -86,10 +91,13 @@ func TestWriteBenchJSONRoundTrip(t *testing.T) {
 	if len(back) != 1 || back[0].Label != "pre" || len(back[0].Results) != len(run.Results) {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
+	if back[0].NumCPU != run.NumCPU || back[0].GoMaxProcs != run.GoMaxProcs {
+		t.Fatalf("host stamp lost: %+v", back[0])
+	}
 	if back[0].Results[1] != run.Results[1] {
 		t.Fatalf("result changed: %+v != %+v", back[0].Results[1], run.Results[1])
 	}
-	for _, key := range []string{`"ns_per_op"`, `"ops_per_sec"`, `"label"`} {
+	for _, key := range []string{`"ns_per_op"`, `"ops_per_sec"`, `"label"`, `"num_cpu"`, `"gomaxprocs"`} {
 		if !strings.Contains(buf.String(), key) {
 			t.Fatalf("JSON missing %s:\n%s", key, buf.String())
 		}

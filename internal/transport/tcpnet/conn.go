@@ -169,6 +169,7 @@ func (cn *conn) send(of outFrame, timeout time.Duration) error {
 		cn.queue = append(cn.queue, of)
 		depth := len(cn.queue)
 		cn.qmu.Unlock()
+		cn.n.qdepth.Store(int64(depth))
 		cn.n.ins().gQueue.Set(int64(depth))
 		return nil
 	}
@@ -193,6 +194,7 @@ func (cn *conn) sendCorked(of outFrame) bool {
 	depth := len(cn.queue)
 	owed := !cn.writing
 	cn.qmu.Unlock()
+	cn.n.qdepth.Store(int64(depth))
 	cn.n.ins().gQueue.Set(int64(depth))
 	return owed
 }
@@ -244,6 +246,7 @@ func (cn *conn) drain() {
 		} else {
 			cn.wrote(total, len(batch))
 		}
+		cn.n.qdepth.Store(0)
 		ins := cn.n.ins()
 		ins.hFlush.Observe(float64(len(batch)))
 		ins.gQueue.Set(0)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -289,4 +290,69 @@ func TestCoalescedWrites(t *testing.T) {
 	}
 	t.Logf("coalescing: %d frames in %d writes (%.2f frames/write)",
 		ws.Frames, ws.Writes, float64(ws.Frames)/float64(ws.Writes))
+}
+
+// TestCoalescerSignals pins the observables the adapt controller consumes
+// as its inputs: under N concurrent senders the tcpnet.flush.batch
+// histogram must record the coalesced flush rounds (each carrying >= 1
+// frame), the Frames >= Writes invariant must hold on both sides of the
+// connection, and the WireStats.QueueDepth mirror of tcpnet.flush.queue
+// must have settled back to zero once all traffic has drained.
+func TestCoalescerSignals(t *testing.T) {
+	a, b := newNet(t), newNet(t)
+	reg := obs.NewRegistry()
+	a.Instrument(reg)
+	b.Instrument(reg)
+	a.Route("", b.Addr())
+	// A handler slow enough that concurrent requests pile replies into the
+	// corked flush path, guaranteeing coalesced rounds to observe.
+	if err := b.Bind("t", func(req transport.Request) (any, error) {
+		time.Sleep(50 * time.Microsecond)
+		return uint64(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const senders, each = 8, 40
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				if _, err := a.Send(transport.Request{ID: base + uint64(j), To: "t", Kind: wire.KindTotal}, 10*time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(uint64(i * 1000))
+	}
+	wg.Wait()
+
+	for _, side := range []struct {
+		name string
+		ws   WireStats
+	}{{"sender", a.WireStats()}, {"receiver", b.WireStats()}} {
+		if side.ws.Writes == 0 || side.ws.Frames < side.ws.Writes {
+			t.Fatalf("%s: %d frames across %d writes, want frames >= writes > 0",
+				side.name, side.ws.Frames, side.ws.Writes)
+		}
+		if side.ws.QueueDepth != 0 {
+			t.Fatalf("%s: queue depth %d after drain, want 0", side.name, side.ws.QueueDepth)
+		}
+	}
+
+	h, ok := reg.Snapshot().Histograms["tcpnet.flush.batch"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("tcpnet.flush.batch = %+v, want recorded flush rounds", h)
+	}
+	if h.Mean < 1 {
+		t.Fatalf("tcpnet.flush.batch mean %.2f, want >= 1 frame per flush round", h.Mean)
+	}
+	// Every histogram entry is one coalesced flush round; the two sides
+	// together cannot have flushed more rounds than they issued writes.
+	total := a.WireStats().Writes + b.WireStats().Writes
+	if uint64(h.Count) > total {
+		t.Fatalf("%d flush rounds recorded but only %d writes issued", h.Count, total)
+	}
+	t.Logf("flush rounds: %d (mean %.2f frames, max %.0f), queue drained", h.Count, h.Mean, h.Max)
 }

@@ -120,6 +120,11 @@ type WireStats struct {
 	Writes    uint64 // write syscalls issued (direct or coalesced flush)
 	Frames    uint64 // frames those writes carried; Frames/Writes is the coalescing factor
 	Spills    uint64 // inbound requests served past the worker pool on spillover goroutines
+	// QueueDepth mirrors the tcpnet.flush.queue gauge without requiring a
+	// registry: the depth of a conn's coalescing write queue at the last
+	// enqueue or flush (0 when senders are uncontended). The adapt
+	// controller samples it as a wire-contention signal.
+	QueueDepth int64
 }
 
 // Net is a TCP fabric. It implements transport.Transport and
@@ -170,6 +175,7 @@ type Net struct {
 	writes    atomic.Uint64
 	frames    atomic.Uint64
 	spills    atomic.Uint64
+	qdepth    atomic.Int64
 
 	// Observability handles, swapped in atomically by Instrument (the
 	// accept and read loops are already running by then). All handles are
@@ -482,14 +488,15 @@ func (n *Net) Stats() transport.Stats {
 // WireStats returns the socket-level counters.
 func (n *Net) WireStats() WireStats {
 	return WireStats{
-		BytesIn:   n.bytesIn.Load(),
-		BytesOut:  n.bytesOut.Load(),
-		Dials:     n.dials.Load(),
-		DialFails: n.dialFails.Load(),
-		ConnsOpen: n.connsOpen.Load(),
-		Writes:    n.writes.Load(),
-		Frames:    n.frames.Load(),
-		Spills:    n.spills.Load(),
+		BytesIn:    n.bytesIn.Load(),
+		BytesOut:   n.bytesOut.Load(),
+		Dials:      n.dials.Load(),
+		DialFails:  n.dialFails.Load(),
+		ConnsOpen:  n.connsOpen.Load(),
+		Writes:     n.writes.Load(),
+		Frames:     n.frames.Load(),
+		Spills:     n.spills.Load(),
+		QueueDepth: n.qdepth.Load(),
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/adapt"
 	"repro/internal/obs"
 	"repro/internal/transport"
 )
@@ -44,6 +45,15 @@ func FuzzGroupArrive(f *testing.F) {
 	f.Add("t:1", []byte{1, 2, 3}, byte(0), []byte{9, 8, 7})
 	f.Add("t:44#9", []byte{}, byte(1), []byte{})
 	f.Add("", []byte{255, 0, 128, 64, 17}, byte(2), []byte{0})
+	// Seed a frame at the adapt controller's maximum group size: the
+	// largest group-arrive the control loop can legally emit must stay
+	// round-trippable, so a codec limit and adapt.DefaultMax can never
+	// drift apart silently.
+	maxGroup := make([]byte, adapt.DefaultMax)
+	for i := range maxGroup {
+		maxGroup[i] = byte(i * 37)
+	}
+	f.Add("t:max", maxGroup, byte(0), maxGroup[:8])
 	f.Fuzz(func(t *testing.T, token string, raw []byte, status byte, rawOut []byte) {
 		// Derive the parallel wires/seqs slices from one byte string so the
 		// decode invariant len(Wires) == len(Seqs) holds by construction.
