@@ -1,11 +1,11 @@
 GO ?= go
 # Packages with real concurrency (goroutine tokens, shared fabrics, rings)
 # get a second pass under the race detector.
-RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... ./internal/adapt/... .
+RACE_PKGS = ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... ./internal/adapt/... ./internal/launch/... .
 
-.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke comparesmoke bench-baseline bench-compare
+.PHONY: check fmt vet build test race bench benchsmoke perfsmoke tracesmoke comparesmoke partsmoke bench-baseline bench-compare
 
-check: fmt vet build test race benchsmoke perfsmoke tracesmoke comparesmoke
+check: fmt vet build test race benchsmoke perfsmoke tracesmoke comparesmoke partsmoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -54,6 +54,18 @@ comparesmoke:
 tracesmoke:
 	@tmp="$$(mktemp /tmp/acn-trace-XXXXXX.json)"; \
 	$(GO) run ./cmd/acnsim -width 64 -nodes 16 -tokens 200 -trace 8 -tracefile "$$tmp" > /dev/null && \
+	$(GO) run ./cmd/acnbench -validatetrace "$$tmp" && rm -f "$$tmp"
+
+# End-to-end multi-process run: the acnnode coordinator spawns two worker
+# processes on loopback, injects a burst across them, and exits nonzero
+# unless the global count conserves, the summed outputs keep the step
+# property, and at least one trace stitched across the two processes; the
+# merged Perfetto export is then re-validated through the CLI. This is
+# the only gate that exercises real process isolation — separate dedup
+# ID spaces, readiness handshakes, the ctl protocol over real sockets.
+partsmoke:
+	@tmp="$$(mktemp /tmp/acn-part-XXXXXX.json)"; \
+	$(GO) run ./cmd/acnnode -coord -width 16 -level 2 -parts 2 -tokens 1024 -traceevery 4 -tracefile "$$tmp" && \
 	$(GO) run ./cmd/acnbench -validatetrace "$$tmp" && rm -f "$$tmp"
 
 # Refresh the machine-readable benchmark baseline (BENCH_4.json keeps the

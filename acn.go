@@ -168,28 +168,128 @@ func LeafCut(width int) Cut { return tree.LeafCut(width) }
 // traffic.
 type Cluster = dist.Cluster
 
-// NewCluster builds an asynchronous cluster from a cut.
-func NewCluster(width int, cut Cut) (*Cluster, error) {
-	return dist.New(width, cut)
+// Option configures NewCluster and NewRing. One option set serves both
+// constructors; options that do not apply to a constructor (WithAdapt
+// and WithTrace on a Ring) are ignored by it.
+type Option func(*options)
+
+type options struct {
+	tr         Transport
+	haveTr     bool
+	retry      RetryConfig
+	haveRetry  bool
+	reg        *ObsRegistry
+	ctrl       *AdaptController
+	traceEvery int
+	traceKeep  int
+}
+
+// WithTransport routes the construct's cross-node messages (token hops,
+// freeze-protocol control, finger queries) over tr instead of a private
+// in-memory fabric.
+func WithTransport(tr Transport) Option {
+	return func(o *options) { o.tr = tr; o.haveTr = true }
+}
+
+// WithRetry sets the reliability client's per-attempt timeout and capped
+// exponential backoff (zero fields take defaults). Only meaningful
+// together with WithTransport on a lossy or slow fabric.
+func WithRetry(rc RetryConfig) Option {
+	return func(o *options) { o.retry = rc; o.haveRetry = true }
+}
+
+// WithObs instruments the construct into reg: latency and hop
+// histograms for a Cluster, lookup and maintenance counters for a Ring.
+func WithObs(reg *ObsRegistry) Option {
+	return func(o *options) { o.reg = reg }
+}
+
+// WithAdapt installs the AIMD batch-sizing controller: the cluster's
+// InjectBatch consults it for group and chunk sizes. Cluster-only.
+func WithAdapt(ctrl *AdaptController) Option {
+	return func(o *options) { o.ctrl = ctrl }
+}
+
+// WithTrace samples one injected batch in every `every` (1 traces all)
+// and retains up to keep finished spans (zero or negative keep uses the
+// tracer default). Cluster-only.
+func WithTrace(every, keep int) Option {
+	return func(o *options) { o.traceEvery = every; o.traceKeep = keep }
+}
+
+// NewCluster builds an asynchronous cluster from a cut. With no options
+// it runs on a private in-memory fabric; compose WithTransport,
+// WithRetry, WithObs, WithAdapt and WithTrace to change that:
+//
+//	cl, err := acn.NewCluster(w, cut,
+//		acn.WithTransport(tr), acn.WithRetry(rc), acn.WithObs(reg))
+func NewCluster(width int, cut Cut, opts ...Option) (*Cluster, error) {
+	o := applyOptions(opts)
+	var dopts []dist.Option
+	if o.haveTr {
+		dopts = append(dopts, dist.WithTransport(o.tr))
+	}
+	if o.haveRetry {
+		dopts = append(dopts, dist.WithRetry(o.retry))
+	}
+	if o.reg != nil {
+		dopts = append(dopts, dist.WithObs(o.reg))
+	}
+	if o.ctrl != nil {
+		dopts = append(dopts, dist.WithAdapt(o.ctrl))
+	}
+	if o.traceEvery > 0 {
+		dopts = append(dopts, dist.WithTrace(o.traceEvery, o.traceKeep))
+	}
+	return dist.New(width, cut, dopts...)
 }
 
 // NewClusterOn builds an asynchronous cluster whose token hops and
 // freeze-protocol control messages travel over the given transport with
 // the given retry policy.
+//
+// Deprecated: use NewCluster with WithTransport and WithRetry.
 func NewClusterOn(width int, cut Cut, tr Transport, retry RetryConfig) (*Cluster, error) {
-	return dist.NewOn(width, cut, tr, retry)
+	return NewCluster(width, cut, WithTransport(tr), WithRetry(retry))
 }
 
 // Ring is a simulated Chord overlay ring.
 type Ring = chord.Ring
 
 // NewRing creates an empty Chord ring with the given randomness seed.
-func NewRing(seed int64) *Ring { return chord.NewRing(seed) }
+// WithTransport and WithRetry route its cross-node RPCs (per-hop finger
+// queries, succ_k estimate probes) over a real fabric; WithObs
+// instruments it into a registry.
+func NewRing(seed int64, opts ...Option) *Ring {
+	o := applyOptions(opts)
+	var r *Ring
+	if o.haveTr {
+		r = chord.NewRingOn(seed, o.tr, o.retry)
+	} else {
+		r = chord.NewRing(seed)
+	}
+	if o.reg != nil {
+		r.Instrument(o.reg)
+	}
+	return r
+}
 
-// NewRingOn creates an empty Chord ring whose cross-node RPCs (per-hop
-// finger queries, succ_k estimate probes) travel over the given transport.
+// NewRingOn creates an empty Chord ring whose cross-node RPCs travel
+// over the given transport.
+//
+// Deprecated: use NewRing with WithTransport and WithRetry.
 func NewRingOn(seed int64, tr Transport, retry RetryConfig) *Ring {
-	return chord.NewRingOn(seed, tr, retry)
+	return NewRing(seed, WithTransport(tr), WithRetry(retry))
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
 }
 
 // Transport is the message fabric cross-node RPCs, token hops and control

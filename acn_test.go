@@ -171,6 +171,55 @@ func TestFacadeControllerAndSim(t *testing.T) {
 	}
 }
 
+// TestFacadeOptions builds a cluster and a ring through the functional
+// options path: transport, retry, observability, adaptive sizing and
+// tracing composed in one constructor call.
+func TestFacadeOptions(t *testing.T) {
+	reg := acn.NewObsRegistry()
+	ctrl := acn.NewAdaptController(acn.AdaptConfig{})
+	cl, err := acn.NewCluster(8, acn.RootCut(),
+		acn.WithTransport(acn.NewMemTransport()),
+		acn.WithRetry(acn.RetryConfig{MaxRetries: 2}),
+		acn.WithObs(reg),
+		acn.WithAdapt(ctrl),
+		acn.WithTrace(1, 128),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]int, 64)
+	for i := range ins {
+		ins[i] = i % 8
+	}
+	if _, err := cl.InjectBatch(ins); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CheckStep(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Histograms["dist.hop.seconds"].Count == 0 {
+		t.Fatal("WithObs did not instrument the cluster")
+	}
+	if len(reg.TraceSpans()) == 0 {
+		t.Fatal("WithTrace did not retain spans")
+	}
+
+	ringReg := acn.NewObsRegistry()
+	ring := acn.NewRing(7,
+		acn.WithTransport(acn.NewMemTransport()),
+		acn.WithRetry(acn.RetryConfig{MaxRetries: 1}),
+		acn.WithObs(ringReg),
+	)
+	ids := ring.JoinN(16)
+	if _, _, err := ring.Lookup(ids[0], chord.Hash("y")); err != nil {
+		t.Fatal(err)
+	}
+	if ringReg.Snapshot().Histograms["chord.lookup.hops"].Count == 0 {
+		t.Fatal("WithObs did not instrument the ring")
+	}
+}
+
 // TestFacadeFaultyTransport runs a cluster and a ring over the public
 // fault-injection API: counting stays exact despite message loss.
 func TestFacadeFaultyTransport(t *testing.T) {

@@ -407,6 +407,8 @@ func BenchmarkE30RPCFastPath(b *testing.B) { benchExperiment(b, "E30") }
 
 func BenchmarkE31AdaptiveBatch(b *testing.B) { benchExperiment(b, "E31") }
 
+func BenchmarkE32Partitioned(b *testing.B) { benchExperiment(b, "E32") }
+
 // BenchmarkE25Observability prints its table unconditionally (not just
 // under -v): the lookup hop-count distribution and per-token latency
 // percentiles across N are the observability layer's acceptance output.

@@ -29,7 +29,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... ./internal/adapt/... .
+go test -race ./internal/wire/... ./internal/transport/... ./internal/dist/... ./internal/chord/... ./internal/core/... ./internal/obs/... ./internal/match/... ./internal/adapt/... ./internal/launch/... .
 
 echo "== benchmark smoke (1 iteration each) =="
 go test -bench . -benchtime 1x -run '^$' ./...
@@ -45,5 +45,11 @@ tracetmp="$(mktemp /tmp/acn-trace-XXXXXX.json)"
 go run ./cmd/acnsim -width 64 -nodes 16 -tokens 200 -trace 8 -tracefile "$tracetmp" > /dev/null
 go run ./cmd/acnbench -validatetrace "$tracetmp"
 rm -f "$tracetmp"
+
+echo "== partition smoke (2-process acnnode run, conservation + merged trace) =="
+parttmp="$(mktemp /tmp/acn-part-XXXXXX.json)"
+go run ./cmd/acnnode -coord -width 16 -level 2 -parts 2 -tokens 1024 -traceevery 4 -tracefile "$parttmp"
+go run ./cmd/acnbench -validatetrace "$parttmp"
+rm -f "$parttmp"
 
 echo "OK"

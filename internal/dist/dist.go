@@ -121,6 +121,11 @@ type Cluster struct {
 	gen    atomic.Uint64 // component incarnation counter (address suffix)
 	tokSeq atomic.Uint64 // token endpoint counter
 
+	// tokPrefix is the token endpoint address prefix: "t:" alone, or
+	// "t:<ns>:" under WithNamespace so partitioned processes mint
+	// disjoint, routable token addresses.
+	tokPrefix string
+
 	// Observability handles (nil when uninstrumented). Instrument and
 	// Trace must be called before traffic or reconfigurations start; the
 	// handles are then read-only for the cluster's lifetime.
@@ -182,15 +187,24 @@ type tokenEP struct {
 }
 
 // New creates a cluster implementing BITONIC[w] with the given cut over an
-// ideal (reliable, zero-latency) in-memory fabric.
-func New(w int, cut tree.Cut) (*Cluster, error) {
-	return NewOn(w, cut, transport.NewMem(), transport.RetryConfig{})
+// ideal (reliable, zero-latency) in-memory fabric. Options select other
+// fabrics, retry policies, observability and namespacing; with none it
+// keeps its historical ideal-fabric behavior.
+func New(w int, cut tree.Cut, opts ...Option) (*Cluster, error) {
+	return NewWith(w, cut, opts...)
 }
 
 // NewOn creates a cluster whose token and control messages travel over tr
 // with the given retry policy. Pass a transport.Faulty to exercise the
 // freeze protocol under message loss, delay, duplication and reordering.
+//
+// Deprecated: use New(w, cut, WithTransport(tr), WithRetry(retry)).
 func NewOn(w int, cut tree.Cut, tr transport.Transport, retry transport.RetryConfig) (*Cluster, error) {
+	return New(w, cut, WithTransport(tr), WithRetry(retry))
+}
+
+// newOn is the real constructor behind NewWith.
+func newOn(w int, cut tree.Cut, tr transport.Transport, retry transport.RetryConfig, ns string) (*Cluster, error) {
 	if err := cut.Validate(w); err != nil {
 		return nil, err
 	}
@@ -204,14 +218,19 @@ func NewOn(w int, cut tree.Cut, tr transport.Transport, retry transport.RetryCon
 	if d, ok := tr.(transport.Redeliverer); ok && d.CanRedeliver() {
 		d.EnableDedup()
 	}
+	tokPrefix := "t:"
+	if ns != "" {
+		tokPrefix = "t:" + ns + ":"
+	}
 	cl := &Cluster{
-		w:        w,
-		tr:       tr,
-		rc:       transport.NewClient(tr, retry),
-		drainCh:  make(chan struct{}, 1),
-		out:      make([]atomic.Uint64, w),
-		injected: make([]atomic.Uint64, w),
-		eps:      make(chan *tokenEP, 256),
+		w:         w,
+		tr:        tr,
+		rc:        transport.NewClient(tr, retry),
+		tokPrefix: tokPrefix,
+		drainCh:   make(chan struct{}, 1),
+		out:       make([]atomic.Uint64, w),
+		injected:  make([]atomic.Uint64, w),
+		eps:       make(chan *tokenEP, 256),
 	}
 	comps, err := cut.Components(w)
 	if err != nil {
@@ -499,7 +518,7 @@ func (cl *Cluster) getEP() (*tokenEP, error) {
 	default:
 	}
 	ep := &tokenEP{
-		addr:   transport.Addr(fmt.Sprintf("t:%d", cl.tokSeq.Add(1))),
+		addr:   transport.Addr(fmt.Sprintf("%s%d", cl.tokPrefix, cl.tokSeq.Add(1))),
 		resume: make(chan wire.Resume, 8),
 	}
 	if err := cl.tr.Bind(ep.addr, func(req transport.Request) (any, error) {

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/adapt"
-	"repro/internal/dist"
 	"repro/internal/estimate"
 	"repro/internal/obs"
 	"repro/internal/transport"
@@ -72,23 +71,13 @@ func E31AdaptiveBatch(opts Options) (*Table, error) {
 		for _, s := range senders {
 			ms[fabric][s] = map[int]float64{}
 			for _, mode := range modes {
-				var tr transport.Transport
-				var tn *tcpnet.Net
-				if fabric == "tcp" {
-					if tn, err = tcpnet.New(tcpnet.Config{}); err != nil {
-						return nil, err
-					}
-					if opts.Obs != nil {
-						tn.Instrument(opts.Obs)
-					}
-					tr = tn
-				} else {
-					tr = transport.NewMem()
-				}
-				cl, err := dist.NewOn(w, cut, tr, retry)
+				env, err := buildCluster(clusterCell{
+					Fabric: fabric, Width: w, Cut: cut, Retry: retry, Obs: opts.Obs,
+				})
 				if err != nil {
 					return nil, err
 				}
+				cl, tn := env.Cluster, env.TCP
 
 				var ctrl *adapt.Controller
 				var poller *adapt.Poller
@@ -219,10 +208,8 @@ func E31AdaptiveBatch(opts Options) (*Table, error) {
 				ms[fabric][s][mode] = cellMS
 				t.AddRow(fabric, modeName, s, tokens, cellMS, cellMS*1000/float64(tokens),
 					rpcs, tokPerRPC, framesPerWrite, size, conserved)
-				if tn != nil {
-					if err := tn.Close(); err != nil {
-						return nil, err
-					}
+				if err := env.Close(); err != nil {
+					return nil, err
 				}
 			}
 		}

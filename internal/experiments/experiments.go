@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one experiment
-// per paper claim or figure (E1..E31, indexed in DESIGN.md). Each
+// per paper claim or figure (E1..E32, indexed in DESIGN.md). Each
 // experiment runs a seeded, deterministic workload and produces a Table;
 // EXPERIMENTS.md records the tables next to the paper's claims. The cmd
 // acnbench CLI and the repository's benchmarks both drive this package.
@@ -160,6 +160,7 @@ func registerAll() map[string]Func {
 		"E29": E29TraceBreakdown,
 		"E30": E30RPCFastPath,
 		"E31": E31AdaptiveBatch,
+		"E32": E32Partitioned,
 	}
 }
 

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/dist"
 	"repro/internal/estimate"
 	"repro/internal/transport"
 	"repro/internal/transport/tcpnet"
@@ -55,23 +54,13 @@ func E30RPCFastPath(opts Options) (*Table, error) {
 
 	for _, fabric := range []string{"mem", "tcp"} {
 		for _, s := range senders {
-			var tr transport.Transport
-			var tn *tcpnet.Net
-			if fabric == "tcp" {
-				if tn, err = tcpnet.New(tcpnet.Config{}); err != nil {
-					return nil, err
-				}
-				if opts.Obs != nil {
-					tn.Instrument(opts.Obs)
-				}
-				tr = tn
-			} else {
-				tr = transport.NewMem()
-			}
-			cl, err := dist.NewOn(w, cut, tr, retry)
+			env, err := buildCluster(clusterCell{
+				Fabric: fabric, Width: w, Cut: cut, Retry: retry, Obs: opts.Obs,
+			})
 			if err != nil {
 				return nil, err
 			}
+			cl, tn := env.Cluster, env.TCP
 			ins := make([]int, tokens)
 			for i := range ins {
 				ins[i] = (i * 2654435761) % w
@@ -135,10 +124,8 @@ func E30RPCFastPath(opts Options) (*Table, error) {
 			conserved := cl.OutCounts().Total() == cl.InCounts().Total()
 			t.AddRow(fabric, s, tokens, ms, ms*1000/float64(tokens), rpcs,
 				usPerRPC, framesPerWrite, spills, conserved)
-			if tn != nil {
-				if err := tn.Close(); err != nil {
-					return nil, err
-				}
+			if err := env.Close(); err != nil {
+				return nil, err
 			}
 		}
 	}

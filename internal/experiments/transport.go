@@ -47,22 +47,26 @@ func E24FaultyTransport(opts Options) (*Table, error) {
 			// Loss-free rows use the same fault injector with the drop and
 			// duplication knobs at zero, so latency and message accounting
 			// stay comparable across the sweep.
-			f := transport.NewFaulty(transport.NewMem(), transport.FaultConfig{
-				Seed:          opts.Seed + int64(n)*8 + int64(li),
-				DropRate:      loss,
-				DupRate:       loss / 2,
-				LatencyBase:   time.Microsecond,
-				LatencyJitter: 10 * time.Microsecond,
-			})
-			cl, err := dist.NewOn(w, cut, f, transport.RetryConfig{
-				Timeout:    500 * time.Microsecond,
-				MaxRetries: 16,
-				Backoff:    20 * time.Microsecond,
-				BackoffCap: 200 * time.Microsecond,
+			env, err := buildCluster(clusterCell{
+				Fabric: "faulty", Width: w, Cut: cut,
+				Fault: transport.FaultConfig{
+					Seed:          opts.Seed + int64(n)*8 + int64(li),
+					DropRate:      loss,
+					DupRate:       loss / 2,
+					LatencyBase:   time.Microsecond,
+					LatencyJitter: 10 * time.Microsecond,
+				},
+				Retry: transport.RetryConfig{
+					Timeout:    500 * time.Microsecond,
+					MaxRetries: 16,
+					Backoff:    20 * time.Microsecond,
+					BackoffCap: 200 * time.Microsecond,
+				},
 			})
 			if err != nil {
 				return nil, err
 			}
+			cl, f := env.Cluster, env.Faulty
 			// Delta accounting: snapshot the cumulative counters around the
 			// injection phase so the row charges only injection traffic, not
 			// any setup or verification messaging.

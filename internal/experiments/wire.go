@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/dist"
 	"repro/internal/estimate"
 	"repro/internal/transport"
-	"repro/internal/transport/tcpnet"
 	"repro/internal/tree"
 )
 
@@ -52,25 +50,13 @@ func E28WireTransport(opts Options) (*Table, error) {
 
 	for _, fabric := range []string{"mem", "tcp"} {
 		for _, batched := range []bool{false, true} {
-			var tr transport.Transport
-			var tn *tcpnet.Net
-			if fabric == "tcp" {
-				if tn, err = tcpnet.New(tcpnet.Config{}); err != nil {
-					return nil, err
-				}
-				if opts.Obs != nil {
-					tn.Instrument(opts.Obs)
-				}
-			}
-			if tn != nil {
-				tr = tn
-			} else {
-				tr = transport.NewMem()
-			}
-			cl, err := dist.NewOn(w, cut, tr, retry)
+			env, err := buildCluster(clusterCell{
+				Fabric: fabric, Width: w, Cut: cut, Retry: retry, Obs: opts.Obs,
+			})
 			if err != nil {
 				return nil, err
 			}
+			cl, tn := env.Cluster, env.TCP
 			ins := make([]int, tokens)
 			for i := range ins {
 				ins[i] = (i * 2654435761) % w
@@ -109,10 +95,8 @@ func E28WireTransport(opts Options) (*Table, error) {
 			t.AddRow(fabric, mode, tokens, ms, ms*1000/float64(tokens),
 				cs.Calls, float64(cs.Calls)/float64(tokens), wireKB,
 				conserved, stepErr == nil)
-			if tn != nil {
-				if err := tn.Close(); err != nil {
-					return nil, err
-				}
+			if err := env.Close(); err != nil {
+				return nil, err
 			}
 		}
 	}

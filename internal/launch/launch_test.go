@@ -1,0 +1,214 @@
+package launch
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSpecValidate(t *testing.T) {
+	s, err := AutoSpec(16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every level-2 component owned exactly once across the two parts.
+	cut, _ := s.Cut()
+	if got := len(s.Partitions[0].Components) + len(s.Partitions[1].Components); got != len(cut) {
+		t.Fatalf("partitions own %d components, cut has %d", got, len(cut))
+	}
+
+	bad := *s
+	bad.Partitions = append([]Partition{}, s.Partitions...)
+	bad.Partitions[1].Components = append([]string{}, s.Partitions[0].Components[0])
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "owned by both") {
+		t.Fatalf("double ownership validated: %v", err)
+	}
+
+	bad = *s
+	bad.Partitions = []Partition{
+		{Name: "p", Components: s.Partitions[0].Components},
+		{Name: "p2", Components: s.Partitions[1].Components},
+	}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "prefix") {
+		t.Fatalf("prefixed names validated: %v", err)
+	}
+
+	bad = *s
+	bad.Partitions = []Partition{{Name: "only", Components: s.Partitions[0].Components}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "no partition") {
+		t.Fatalf("uncovered cut validated: %v", err)
+	}
+}
+
+func TestSpecSaveLoad(t *testing.T) {
+	s, err := AutoSpec(8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workload = Workload{Tokens: 256, Mode: "group"}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 8 || len(got.Partitions) != 2 || got.Workload.Tokens != 256 {
+		t.Fatalf("round-tripped spec %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}
+
+// TestTwoPartitionConservation is the tentpole acceptance property,
+// in-process under -race: a 2-partition launch over real loopback
+// sockets completes with exact global count conservation, the summed
+// outputs satisfy the step property, and the merged trace contains at
+// least one distributed trace whose spans were recorded by two distinct
+// partitions.
+func TestTwoPartitionConservation(t *testing.T) {
+	spec, err := AutoSpec(16, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TraceEvery = 1
+	spec.TraceRetain = 4096
+	spec.Workload = Workload{Tokens: 512, Burst: 64, Senders: 4, Mode: "group"}
+
+	coord, workers, err := StartInProc(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = coord.Close()
+		for _, w := range workers {
+			_ = w.Close()
+		}
+	}()
+
+	if err := coord.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.In.Total(); got != 512 {
+		t.Fatalf("injected %d tokens across partitions, want 512", got)
+	}
+	if !res.Conserved {
+		t.Fatalf("count conservation violated: in %d, out %d", res.In.Total(), res.Out.Total())
+	}
+	if !res.StepOK {
+		t.Fatalf("summed outputs violate the step property: %v", res.Out)
+	}
+	if res.CrossTraces < 1 {
+		t.Fatalf("no trace stitched across processes (parts: %d and %d spans)",
+			len(res.Parts[0].Spans), len(res.Parts[1].Spans))
+	}
+	// Both partitions actually injected and actually served remote RPCs.
+	for _, rep := range res.Parts {
+		var in int64
+		for _, v := range rep.In {
+			in += v
+		}
+		if in != 256 {
+			t.Fatalf("partition %s injected %d, want 256", rep.Name, in)
+		}
+		if rep.Wire.BytesIn == 0 || rep.Wire.BytesOut == 0 {
+			t.Fatalf("partition %s moved no bytes on the wire", rep.Name)
+		}
+	}
+	// The merged snapshot sums the per-partition counters and merges the
+	// per-partition histograms.
+	var bytesIn uint64
+	for _, rep := range res.Parts {
+		bytesIn += rep.Snapshot.Counters["tcpnet.bytes.in"]
+	}
+	if bytesIn == 0 {
+		t.Fatal("no partition recorded tcpnet.bytes.in")
+	}
+	if got := res.Merged.Counters["tcpnet.bytes.in"]; got != bytesIn {
+		t.Fatalf("merged tcpnet.bytes.in %d, want %d", got, bytesIn)
+	}
+	var hops int
+	for _, rep := range res.Parts {
+		hops += rep.Snapshot.Histograms["dist.hop.seconds"].Count
+	}
+	if hops == 0 {
+		t.Fatal("no partition recorded hop latencies")
+	}
+	if got := res.Merged.Histograms["dist.hop.seconds"].Count; got != hops {
+		t.Fatalf("merged hop histogram count %d, want %d", got, hops)
+	}
+
+	// The merged Perfetto export validates and names both partition rows.
+	var buf bytes.Buffer
+	if err := obs.WriteTraceEventsParts(&buf, res.TraceParts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTraceEvents(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	for _, p := range spec.Partitions {
+		if !strings.Contains(buf.String(), `"name":"`+p.Name+`"`) {
+			t.Fatalf("merged trace missing process row for %s", p.Name)
+		}
+	}
+
+	if err := coord.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		w.Wait()
+	}
+}
+
+// TestSeqAndAdaptiveModes drives the two non-default injection paths
+// through a small 2-partition launch: both must conserve.
+func TestSeqAndAdaptiveModes(t *testing.T) {
+	for _, mode := range []string{"seq", "adaptive"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			spec, err := AutoSpec(8, 1, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Workload = Workload{Tokens: 128, Burst: 32, Senders: 2, Mode: mode}
+			coord, workers, err := StartInProc(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				_ = coord.Close()
+				for _, w := range workers {
+					_ = w.Close()
+				}
+			}()
+			if _, err := coord.Run(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := coord.Gather()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Conserved || res.In.Total() != 128 {
+				t.Fatalf("mode %s: in %d out %d", mode, res.In.Total(), res.Out.Total())
+			}
+			if !res.StepOK {
+				t.Fatalf("mode %s: step property violated: %v", mode, res.Out)
+			}
+		})
+	}
+}

@@ -92,6 +92,48 @@ func (r *Registry) Snapshot() Snapshot {
 	return snap
 }
 
+// MergeSnapshots folds several registry snapshots — typically one per
+// worker process in a partitioned run — into one: counters and gauges
+// sum by name, histograms with matching bucket layouts merge their raw
+// buckets and re-derive the percentile summaries. A histogram arriving
+// without raw buckets, or with a layout that disagrees with an earlier
+// snapshot's, keeps the first-seen data and is otherwise skipped —
+// best-effort, since the per-worker reports already carry the unmerged
+// originals.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	merged := map[string]*stats.Histogram{}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range s.Histograms {
+			if h.Raw == nil {
+				if _, seen := out.Histograms[k]; !seen {
+					out.Histograms[k] = h
+				}
+				continue
+			}
+			if m, ok := merged[k]; ok {
+				_ = m.Merge(h.Raw) // layout mismatch: keep first-seen data
+				continue
+			}
+			merged[k] = h.Raw.Clone()
+		}
+	}
+	for k, m := range merged {
+		out.Histograms[k] = snapshotHist(m)
+	}
+	return out
+}
+
 // WriteJSON writes the registry snapshot as indented JSON.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)

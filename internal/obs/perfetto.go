@@ -40,58 +40,92 @@ func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 // Nil spans in the slice are skipped; an empty slice writes a valid empty
 // document.
 func WriteTraceEvents(w io.Writer, spans []*Span) error {
-	live := make([]*Span, 0, len(spans))
-	for _, s := range spans {
-		if s != nil {
-			live = append(live, s)
-		}
-	}
-	sort.SliceStable(live, func(i, j int) bool { return live[i].Begin.Before(live[j].Begin) })
+	return WriteTraceEventsParts(w, []TracePart{{Name: "acn", Spans: spans}})
+}
 
+// TracePart is one process's worth of spans in a merged multi-process
+// trace export: Name labels the Perfetto process row (the launch
+// coordinator uses partition names), Spans are that process's finished
+// spans.
+type TracePart struct {
+	Name  string
+	Spans []*Span
+}
+
+// WriteTraceEventsParts is WriteTraceEvents for a multi-process run: each
+// part becomes one Perfetto process (pid assigned in slice order, with a
+// process_name metadata record), so spans from different OS processes
+// stay visually separated while identical trace IDs still correlate a
+// distributed trace across process rows. Timestamps are rebased to the
+// earliest span begin across all parts — the parts came from one wall
+// clock (one host) in the partitioned runner, so a shared epoch keeps
+// cross-process causality readable.
+func WriteTraceEventsParts(w io.Writer, parts []TracePart) error {
+	live := make([][]*Span, len(parts))
+	total := 0
 	var epoch time.Time
-	if len(live) > 0 {
-		epoch = live[0].Begin
+	for pi, p := range parts {
+		ps := make([]*Span, 0, len(p.Spans))
+		for _, s := range p.Spans {
+			if s != nil {
+				ps = append(ps, s)
+			}
+		}
+		sort.SliceStable(ps, func(i, j int) bool { return ps[i].Begin.Before(ps[j].Begin) })
+		if len(ps) > 0 && (epoch.IsZero() || ps[0].Begin.Before(epoch)) {
+			epoch = ps[0].Begin
+		}
+		live[pi] = ps
+		total += len(ps)
 	}
-	doc := traceEventDoc{TraceEvents: make([]traceEvent, 0, 2*len(live)+1)}
-	doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-		Name: "process_name", Ph: "M", PID: 1,
-		Args: map[string]string{"name": "acn"},
-	})
-	tids := make(map[uint64]int, len(live))
-	for _, s := range live {
-		tid, ok := tids[s.TraceID]
-		if !ok {
-			tid = len(tids) + 1
-			tids[s.TraceID] = tid
-			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-				Name: "thread_name", Ph: "M", PID: 1, TID: tid,
-				Args: map[string]string{"name": fmt.Sprintf("trace %016x", s.TraceID)},
-			})
-		}
-		dur := usec(s.Dur)
-		args := map[string]string{
-			"trace": fmt.Sprintf("%016x", s.TraceID),
-			"span":  fmt.Sprintf("%016x", s.SpanID),
-		}
-		if s.ParentID != 0 {
-			args["parent"] = fmt.Sprintf("%016x", s.ParentID)
+
+	doc := traceEventDoc{TraceEvents: make([]traceEvent, 0, 2*total+len(parts))}
+	for pi, p := range parts {
+		pid := pi + 1
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("part %d", pid)
 		}
 		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-			Name: s.Name, Ph: "X", TS: usec(s.Begin.Sub(epoch)), Dur: &dur,
-			PID: 1, TID: tid, Args: args,
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]string{"name": name},
 		})
-		for _, e := range s.Events {
-			args := map[string]string{"span": fmt.Sprintf("%016x", s.SpanID)}
-			if e.Detail != "" {
-				args["detail"] = e.Detail
+		tids := make(map[uint64]int, len(live[pi]))
+		for _, s := range live[pi] {
+			tid, ok := tids[s.TraceID]
+			if !ok {
+				tid = len(tids) + 1
+				tids[s.TraceID] = tid
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+					Args: map[string]string{"name": fmt.Sprintf("trace %016x", s.TraceID)},
+				})
 			}
-			if e.V != 0 {
-				args["v"] = fmt.Sprintf("%d", e.V)
+			dur := usec(s.Dur)
+			args := map[string]string{
+				"trace": fmt.Sprintf("%016x", s.TraceID),
+				"span":  fmt.Sprintf("%016x", s.SpanID),
+			}
+			if s.ParentID != 0 {
+				args["parent"] = fmt.Sprintf("%016x", s.ParentID)
 			}
 			doc.TraceEvents = append(doc.TraceEvents, traceEvent{
-				Name: e.Kind, Ph: "i", TS: usec(s.Begin.Add(e.At).Sub(epoch)),
-				PID: 1, TID: tid, S: "t", Args: args,
+				Name: s.Name, Ph: "X", TS: usec(s.Begin.Sub(epoch)), Dur: &dur,
+				PID: pid, TID: tid, Args: args,
 			})
+			for _, e := range s.Events {
+				args := map[string]string{"span": fmt.Sprintf("%016x", s.SpanID)}
+				if e.Detail != "" {
+					args["detail"] = e.Detail
+				}
+				if e.V != 0 {
+					args["v"] = fmt.Sprintf("%d", e.V)
+				}
+				doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+					Name: e.Kind, Ph: "i", TS: usec(s.Begin.Add(e.At).Sub(epoch)),
+					PID: pid, TID: tid, S: "t", Args: args,
+				})
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

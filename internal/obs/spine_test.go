@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -246,6 +247,93 @@ func TestWriteTraceEventsRoundTrip(t *testing.T) {
 	}
 	if _, err := ValidateTraceEvents(strings.NewReader(`{"traceEvents":[{"name":"x","ph":"??","ts":0}]}`)); err == nil {
 		t.Fatal("ValidateTraceEvents accepted an unknown phase")
+	}
+}
+
+// TestWriteTraceEventsParts: a merged multi-process export gives each
+// part its own Perfetto pid with its name in a process_name record, and
+// a trace ID shared between parts appears under both pids (the
+// cross-process stitch the partitioned runner's acceptance gate counts).
+func TestWriteTraceEventsParts(t *testing.T) {
+	trA, trB := NewTracer(1, 16), NewTracer(1, 16)
+	root := trA.Start("batch")
+	// The remote part's span carries the same trace ID, as an RPCObs
+	// server span would after the context crossed the wire.
+	remote := trB.StartChild("rpc:agroup", root.Context())
+	remote.Finish()
+	root.Finish()
+	local := trB.Start("local")
+	local.Finish()
+
+	var buf bytes.Buffer
+	parts := []TracePart{{Name: "p0", Spans: trA.Spans()}, {Name: "p1", Spans: trB.Spans()}}
+	if err := WriteTraceEventsParts(&buf, parts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTraceEvents(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("parts exporter emitted invalid trace events: %v\n%s", err, buf.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			PID  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	procs := map[int]string{}
+	tracePIDs := map[string]map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.PID] = ev.Args["name"]
+		}
+		if ev.Ph == "X" {
+			id := ev.Args["trace"]
+			if tracePIDs[id] == nil {
+				tracePIDs[id] = map[int]bool{}
+			}
+			tracePIDs[id][ev.PID] = true
+		}
+	}
+	if procs[1] != "p0" || procs[2] != "p1" {
+		t.Fatalf("process rows %v, want pid1=p0 pid2=p1", procs)
+	}
+	shared := fmt.Sprintf("%016x", root.TraceID)
+	if got := len(tracePIDs[shared]); got != 2 {
+		t.Fatalf("shared trace %s spans %d process rows, want 2 (%v)", shared, got, tracePIDs)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(tok uint64, depth int64, lat float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("tokens").Add(tok)
+		r.Gauge("depth").Set(depth)
+		r.Histogram("lat", 0, 10, 10).Observe(lat)
+		return r.Snapshot()
+	}
+	m := MergeSnapshots(mk(3, 1, 1.5), mk(5, 2, 7.5))
+	if m.Counters["tokens"] != 8 {
+		t.Fatalf("merged counter %d, want 8", m.Counters["tokens"])
+	}
+	if m.Gauges["depth"] != 3 {
+		t.Fatalf("merged gauge %d, want 3", m.Gauges["depth"])
+	}
+	h := m.Histograms["lat"]
+	if h.Count != 2 || h.Mean != 4.5 {
+		t.Fatalf("merged histogram count=%d mean=%v, want 2 and 4.5", h.Count, h.Mean)
+	}
+
+	// A layout mismatch keeps the first-seen histogram instead of
+	// corrupting the merge.
+	r3 := NewRegistry()
+	r3.Histogram("lat", 0, 99, 7).Observe(50)
+	m = MergeSnapshots(mk(1, 0, 2), r3.Snapshot())
+	if h := m.Histograms["lat"]; h.Count != 1 {
+		t.Fatalf("mismatched-layout merge count=%d, want first-seen 1", h.Count)
 	}
 }
 

@@ -19,6 +19,13 @@ type RetryConfig struct {
 	Backoff time.Duration
 	// BackoffCap bounds the exponential backoff.
 	BackoffCap time.Duration
+	// IDBase offsets the client's request-ID counter. Receiver dedup
+	// tables key on the bare request ID per endpoint, so two clients in
+	// different processes sending to the same endpoint must draw IDs from
+	// disjoint ranges — give each process a distinct high-bits base (the
+	// launch package uses partition-index << 48). Zero keeps the
+	// single-process default of IDs starting at 1.
+	IDBase uint64
 }
 
 // DefaultRetry is tuned for the microsecond-scale latencies the fault
@@ -122,7 +129,9 @@ func (c *Client) Instrument(reg *obs.Registry) {
 // NewClient creates a reliability client over tr. Zero RetryConfig fields
 // take the DefaultRetry values.
 func NewClient(tr Transport, cfg RetryConfig) *Client {
-	return &Client{tr: tr, cfg: cfg.withDefaults()}
+	c := &Client{tr: tr, cfg: cfg.withDefaults()}
+	c.next.Store(cfg.IDBase)
+	return c
 }
 
 // Transport returns the fabric this client sends on.

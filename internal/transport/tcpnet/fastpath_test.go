@@ -74,7 +74,9 @@ func TestWriteDeadlineCleared(t *testing.T) {
 // traffic. Run under -race this also checks the slot ownership protocol.
 func TestPendingReleasedOnDie(t *testing.T) {
 	a, b := newNet(t), newNet(t)
-	a.Route("slow", b.Addr())
+	if err := a.Route("slow", b.Addr()); err != nil {
+		t.Fatalf("Route: %v", err)
+	}
 	release := make(chan struct{})
 	t.Cleanup(func() { close(release) }) // runs before b's Close, unwedging handlers
 	started := make(chan struct{}, 64)
@@ -144,7 +146,9 @@ func TestPendingReleasedOnDie(t *testing.T) {
 	// The sender recovers: the same fabric, with its recycled slots and
 	// pools, completes a fresh call to a healthy destination.
 	c2 := newNet(t)
-	a.Route("fast", c2.Addr())
+	if err := a.Route("fast", c2.Addr()); err != nil {
+		t.Fatalf("Route: %v", err)
+	}
 	if err := c2.Bind("fast", func(req transport.Request) (any, error) { return uint64(1), nil }); err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +168,9 @@ func TestHandlerPoolSpillover(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = b.Close() })
-	a.Route("", b.Addr())
+	if err := a.RouteDefault(b.Addr()); err != nil {
+		t.Fatalf("RouteDefault: %v", err)
+	}
 	release := make(chan struct{})
 	released := false
 	t.Cleanup(func() {
@@ -231,7 +237,9 @@ func TestUnsampledRequestPathAllocs(t *testing.T) {
 		t.Skip("race instrumentation defeats the allocation optimizations this test pins")
 	}
 	a, b := newNet(t), newNet(t)
-	a.Route("", b.Addr())
+	if err := a.RouteDefault(b.Addr()); err != nil {
+		t.Fatalf("RouteDefault: %v", err)
+	}
 	if err := b.Bind("t", func(req transport.Request) (any, error) { return uint64(7), nil }); err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +270,9 @@ func TestUnsampledRequestPathAllocs(t *testing.T) {
 // frame; under contention, more).
 func TestCoalescedWrites(t *testing.T) {
 	a, b := newNet(t), newNet(t)
-	a.Route("", b.Addr())
+	if err := a.RouteDefault(b.Addr()); err != nil {
+		t.Fatalf("RouteDefault: %v", err)
+	}
 	if err := b.Bind("t", func(req transport.Request) (any, error) { return uint64(1), nil }); err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +313,9 @@ func TestCoalescerSignals(t *testing.T) {
 	reg := obs.NewRegistry()
 	a.Instrument(reg)
 	b.Instrument(reg)
-	a.Route("", b.Addr())
+	if err := a.RouteDefault(b.Addr()); err != nil {
+		t.Fatalf("RouteDefault: %v", err)
+	}
 	// A handler slow enough that concurrent requests pile replies into the
 	// corked flush path, guaranteeing coalesced rounds to observe.
 	if err := b.Bind("t", func(req transport.Request) (any, error) {

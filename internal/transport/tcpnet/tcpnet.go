@@ -138,8 +138,9 @@ type Net struct {
 	eps   map[transport.Addr]*endpoint
 	dedup bool
 
-	routeMu sync.RWMutex
-	routes  []route // longest-prefix destination routes; nil target = self
+	routeMu   sync.RWMutex
+	routes    []route // longest-prefix destination routes
+	defTarget string  // fallback for unmatched addresses; "" = own listener
 
 	poolMu   sync.Mutex
 	pools    map[string]*pool
@@ -247,22 +248,72 @@ func New(cfg Config) (*Net, error) {
 func (n *Net) Addr() string { return n.addr }
 
 // Route sends destination addresses with the given prefix to the fabric
-// listening at hostport (its Addr). Longest prefix wins; unmatched
-// addresses are served by this Net's own listener. Routing "" rewires the
-// default.
-func (n *Net) Route(prefix, hostport string) {
+// listening at hostport (its Addr). When several prefixes match an
+// address the longest one wins, so "c:0110#" beats "c:0" regardless of
+// insertion order; unmatched addresses are served by this Net's own
+// listener (or the RouteDefault target). The prefix must be non-empty —
+// use RouteDefault to rewire the fallback — and hostport must parse as
+// host:port. Re-adding a prefix with its current target is an idempotent
+// no-op; re-adding it with a different target is an error, so a topology
+// bug that would silently shadow an earlier wiring fails loudly instead.
+func (n *Net) Route(prefix, hostport string) error {
+	if prefix == "" {
+		return fmt.Errorf("tcpnet: empty route prefix (use RouteDefault to rewire the fallback)")
+	}
+	if _, _, err := net.SplitHostPort(hostport); err != nil {
+		return fmt.Errorf("tcpnet: route %q: bad hostport %q: %w", prefix, hostport, err)
+	}
 	n.routeMu.Lock()
 	defer n.routeMu.Unlock()
 	for i := range n.routes {
 		if n.routes[i].prefix == prefix {
-			n.routes[i].target = hostport
-			return
+			if n.routes[i].target == hostport {
+				return nil
+			}
+			return fmt.Errorf("tcpnet: route %q already targets %q (refusing to shadow it with %q)",
+				prefix, n.routes[i].target, hostport)
 		}
 	}
 	n.routes = append(n.routes, route{prefix: prefix, target: hostport})
 	sort.Slice(n.routes, func(i, j int) bool {
 		return len(n.routes[i].prefix) > len(n.routes[j].prefix)
 	})
+	return nil
+}
+
+// RouteDefault rewires where addresses matching no route prefix are sent;
+// the zero value is this Net's own listener. Partitioned runs leave the
+// default alone (self-serving unmatched addresses) — the knob exists for
+// tests that funnel a whole fabric's traffic elsewhere.
+func (n *Net) RouteDefault(hostport string) error {
+	if _, _, err := net.SplitHostPort(hostport); err != nil {
+		return fmt.Errorf("tcpnet: default route: bad hostport %q: %w", hostport, err)
+	}
+	n.routeMu.Lock()
+	defer n.routeMu.Unlock()
+	n.defTarget = hostport
+	return nil
+}
+
+// RouteEntry is one installed route, reported by Routes.
+type RouteEntry struct {
+	Prefix string // "" marks the rewired default target
+	Target string // host:port
+}
+
+// Routes snapshots the routing table in resolution precedence order
+// (longest prefix first), with the rewired default — if any — last.
+func (n *Net) Routes() []RouteEntry {
+	n.routeMu.RLock()
+	defer n.routeMu.RUnlock()
+	out := make([]RouteEntry, 0, len(n.routes)+1)
+	for _, r := range n.routes {
+		out = append(out, RouteEntry{Prefix: r.prefix, Target: r.target})
+	}
+	if n.defTarget != "" {
+		out = append(out, RouteEntry{Target: n.defTarget})
+	}
+	return out
 }
 
 // resolve maps a destination address to the host:port serving it.
@@ -273,6 +324,9 @@ func (n *Net) resolve(a transport.Addr) string {
 		if strings.HasPrefix(string(a), r.prefix) {
 			return r.target
 		}
+	}
+	if n.defTarget != "" {
+		return n.defTarget
 	}
 	return n.addr
 }

@@ -159,7 +159,9 @@ func TestErrorMapping(t *testing.T) {
 	}
 	// An undialable destination is ErrUnreachable (with dial backoff, not a
 	// hang): route a prefix at a dead port.
-	n.Route("x:", "127.0.0.1:1")
+	if err := n.Route("x:", "127.0.0.1:1"); err != nil {
+		t.Fatalf("Route: %v", err)
+	}
 	_, err = n.Send(transport.Request{ID: nextID(), To: "x:gone", Kind: wire.KindProbe, Body: uint64(0)}, time.Second)
 	if !errors.Is(err, transport.ErrUnreachable) {
 		t.Fatalf("dead dial: %v, want ErrUnreachable", err)
@@ -260,7 +262,9 @@ func TestRouteBetweenFabrics(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	a.Route("n:remote", b.Addr())
+	if err := a.Route("n:remote", b.Addr()); err != nil {
+		t.Fatalf("Route: %v", err)
+	}
 	reply, err := a.Send(transport.Request{ID: nextID(), To: "n:remote", Kind: wire.KindCPF, Body: uint64(21)}, time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -427,7 +431,9 @@ func TestPoolHealthStats(t *testing.T) {
 
 	// A dead destination fails its dial attempts and leaves the pool in a
 	// cooldown window, visible in both the exact walk and the gauge.
-	n.Route("x:", "127.0.0.1:1")
+	if err := n.Route("x:", "127.0.0.1:1"); err != nil {
+		t.Fatalf("Route: %v", err)
+	}
 	if _, err := n.Send(transport.Request{ID: nextID(), To: "x:gone", Kind: wire.KindProbe, Body: uint64(0)}, time.Second); !errors.Is(err, transport.ErrUnreachable) {
 		t.Fatalf("dead dial: %v, want ErrUnreachable", err)
 	}

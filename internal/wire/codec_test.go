@@ -98,11 +98,12 @@ var kindCases = []struct {
 	{KindResume, Resume{Path: "0110", Wire: 3, Seq: 8}, true},
 	{KindCPF, uint64(0xdead), uint64(0xbeef)},
 	{KindProbe, uint64(41), uint64(42)},
+	{KindCtl, Blob(`{"op":"run","tokens":64}`), Blob(`{"ok":true}`)},
 }
 
 func TestRegistry(t *testing.T) {
 	want := []string{KindArrive, KindGroupArrive, KindFreeze, KindTotal,
-		KindKill, KindResume, KindCPF, KindProbe}
+		KindKill, KindResume, KindCPF, KindProbe, KindCtl}
 	if got := Kinds(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Kinds() = %v, want %v", got, want)
 	}

@@ -34,6 +34,12 @@ const (
 	// KindProbe is Chord's successor liveness probe.
 	// Body: uint64 (probed ID). Reply: uint64 (responder ID).
 	KindProbe = "probe"
+	// KindCtl is the launch control plane: coordinator→worker commands
+	// (wire routes, run workload, report, shutdown) carried as opaque
+	// JSON. The payload is a Blob both ways so the control protocol can
+	// evolve without new wire codes; it is never on the token hot path.
+	// Body: Blob. Reply: Blob.
+	KindCtl = "ctl"
 )
 
 // Status is the outcome of an arrive (or group arrive) RPC.
@@ -102,6 +108,11 @@ type FreezeRes struct {
 	Total     uint64
 	Processed []uint64
 }
+
+// Blob is an opaque byte payload for control-plane kinds. The bytes are
+// whatever the application layer agreed on (launch uses JSON); the codec
+// only length-prefixes them.
+type Blob []byte
 
 // Resume tells a stored token where to re-enter the network.
 type Resume struct {
@@ -396,4 +407,31 @@ var _ = register(&Codec{
 	DecodeReq: decUint64,
 	EncodeRes: encUint64(KindProbe),
 	DecodeRes: decUint64,
+})
+
+// encBlob / decBlob serve KindCtl both ways.
+func encBlob(kind string) func(*Encoder, any) error {
+	return func(e *Encoder, body any) error {
+		b, ok := body.(Blob)
+		if !ok {
+			return badBody(kind, body)
+		}
+		return e.BlobBytes(b)
+	}
+}
+
+func decBlob(d *Decoder) (any, error) {
+	b, err := d.BlobBytes()
+	if err != nil {
+		return nil, err
+	}
+	return Blob(b), nil
+}
+
+var _ = register(&Codec{
+	Code: 9, Kind: KindCtl,
+	EncodeReq: encBlob(KindCtl),
+	DecodeReq: decBlob,
+	EncodeRes: encBlob(KindCtl),
+	DecodeRes: decBlob,
 })

@@ -62,6 +62,10 @@ const (
 	MaxString = 1 << 12
 	// MaxSlice bounds one encoded slice's element count.
 	MaxSlice = 1 << 16
+	// MaxBlob bounds one control-plane blob (KindCtl payloads). Blobs
+	// carry JSON documents — worker reports, span pages — so the bound
+	// is most of a frame rather than MaxString's address-sized budget.
+	MaxBlob = MaxFrame - 1<<12
 )
 
 // Encoder appends values to a byte buffer. The zero value is ready; Bytes
@@ -123,6 +127,21 @@ func (e *Encoder) Bool(v bool) {
 func (e *Encoder) String(s string) {
 	e.Uvarint(uint64(len(s)))
 	e.buf = append(e.buf, s...)
+}
+
+// BlobBytes appends a length-prefixed byte string bounded by MaxBlob.
+// The bound is enforced here (encoders otherwise trust their callers)
+// because blob payloads are application-assembled documents whose size
+// the protocol layer does not control; an oversized blob must fail at
+// the sender with a clear error, not poison the connection when the
+// receiver rejects the frame.
+func (e *Encoder) BlobBytes(b []byte) error {
+	if len(b) > MaxBlob {
+		return fmt.Errorf("%w: blob of %d bytes > %d", ErrTooLarge, len(b), MaxBlob)
+	}
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+	return nil
 }
 
 // Uint64s appends a length-prefixed slice of unsigned varints.
@@ -291,6 +310,24 @@ func (d *Decoder) InternedString() (string, error) {
 	s := interned(d.buf[d.off : d.off+int(n)])
 	d.off += int(n)
 	return s, nil
+}
+
+// BlobBytes consumes a length-prefixed byte string bounded by MaxBlob.
+func (d *Decoder) BlobBytes() ([]byte, error) {
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBlob {
+		return nil, fmt.Errorf("%w: blob length %d > %d", ErrCorrupt, n, MaxBlob)
+	}
+	if uint64(d.Remaining()) < n {
+		return nil, fmt.Errorf("%w: blob needs %d bytes, %d left", ErrTruncated, n, d.Remaining())
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+int(n)])
+	d.off += int(n)
+	return b, nil
 }
 
 // Uint64s consumes a length-prefixed slice of unsigned varints bounded by
